@@ -1,0 +1,399 @@
+//! Fuzzy checkpointing (§4.1.2).
+//!
+//! The classic algorithm: (1) stop accepting update/commit/abort
+//! operations; (2) persist a "checkpoint record" containing the dirty
+//! table; (3) resume normal operation; (4) flush the dirty records to disk
+//! asynchronously. Per the paper's adaptation to main memory, the dirty
+//! table is record-granularity (the same bit vector pCALC uses), which
+//! makes the persisted checkpoint record proportionally larger than in
+//! disk-based systems — hence the visible quiesce spike in Figure 2.
+//!
+//! **Not transaction-consistent**: the asynchronous flush reads records
+//! while they continue to be updated, so the checkpoint mixes states from
+//! different serialization points. Without a database log it cannot be
+//! repaired into a consistent state — this is exactly the paper's argument
+//! for why log-less systems need a different algorithm. Recovery refuses
+//! fuzzy checkpoints (`transaction_consistent() == false`).
+//!
+//! The default/traditional variant is partial (`pFuzzy`). The full variant
+//! additionally maintains an in-memory copy of the database — "the latest
+//! consistent snapshot" — and produces full checkpoints by merging dirty
+//! records into it (2× memory).
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use calc_common::types::{CommitSeq, Key, Value};
+use calc_storage::dirty::{BitVecTracker, DirtyTracker};
+use calc_storage::dual::{DualVersionStore, StoreConfig, StoreError};
+use calc_storage::mem::{MemCounter, MemoryStats};
+use calc_storage::SlotId;
+use calc_txn::commitlog::{CommitLog, PhaseStamp};
+
+use calc_core::file::CheckpointKind;
+use calc_core::manifest::CheckpointDir;
+use calc_core::strategy::{
+    CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
+    WriteRec,
+};
+
+/// Per-slot snapshot entries: `(raw key, value)` under a slot mutex.
+type SnapshotArray = Box<[Mutex<Option<(u64, Value)>>]>;
+
+/// Fuzzy checkpointing. See module docs.
+pub struct FuzzyStrategy {
+    store: DualVersionStore,
+    log: Arc<CommitLog>,
+    partial: bool,
+    tracker: BitVecTracker,
+    tombstones: [Mutex<Vec<Key>>; 2],
+    upcoming: AtomicU64,
+    /// Full variant only: the in-memory "latest snapshot" copy, indexed by
+    /// slot.
+    snapshot: Option<SnapshotArray>,
+    snapshot_mem: MemCounter,
+}
+
+impl FuzzyStrategy {
+    /// Full-checkpoint variant (keeps the in-memory snapshot copy).
+    pub fn full(config: StoreConfig, log: Arc<CommitLog>) -> Self {
+        Self::new(config, log, false)
+    }
+
+    /// Partial variant — the traditional fuzzy checkpoint (pFuzzy).
+    pub fn partial(config: StoreConfig, log: Arc<CommitLog>) -> Self {
+        Self::new(config, log, true)
+    }
+
+    fn new(config: StoreConfig, log: Arc<CommitLog>, partial: bool) -> Self {
+        let capacity = config.capacity;
+        FuzzyStrategy {
+            store: DualVersionStore::new(config),
+            log,
+            partial,
+            tracker: BitVecTracker::new(capacity),
+            tombstones: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+            upcoming: AtomicU64::new(0),
+            snapshot: (!partial).then(|| (0..capacity).map(|_| Mutex::new(None)).collect()),
+            snapshot_mem: MemCounter::new(),
+        }
+    }
+
+    /// The underlying store (tests / diagnostics).
+    pub fn store(&self) -> &DualVersionStore {
+        &self.store
+    }
+
+    fn snapshot_set(&self, slot: SlotId, entry: Option<(u64, Value)>) {
+        let Some(snapshot) = &self.snapshot else { return };
+        let mut s = snapshot[slot as usize].lock();
+        if let Some((_, v)) = &entry {
+            self.snapshot_mem.add(v.len());
+        }
+        if let Some((_, old)) = std::mem::replace(&mut *s, entry) {
+            self.snapshot_mem.sub(old.len());
+        }
+    }
+
+    /// Persists the dirty-record table — the quiesced write whose size
+    /// drives fuzzy's interruption (§4.1.2). Goes through the same disk
+    /// throttle as checkpoints.
+    fn persist_dirty_table(
+        &self,
+        dir: &CheckpointDir,
+        id: u64,
+        dirty: &[SlotId],
+    ) -> io::Result<()> {
+        let path = dir.path().join(format!(".dirtytab-{id:010}"));
+        let file = std::fs::File::create(&path)?;
+        let mut out = std::io::BufWriter::new(file);
+        let mut bytes = 0usize;
+        for slot in dirty {
+            out.write_all(&slot.to_le_bytes())?;
+            bytes += 4;
+        }
+        out.flush()?;
+        out.get_ref().sync_all()?;
+        dir.throttle().consume(bytes);
+        Ok(())
+    }
+}
+
+impl CheckpointStrategy for FuzzyStrategy {
+    fn name(&self) -> &'static str {
+        if self.partial {
+            "pFuzzy"
+        } else {
+            "Fuzzy"
+        }
+    }
+
+    fn transaction_consistent(&self) -> bool {
+        false
+    }
+
+    fn partial(&self) -> bool {
+        self.partial
+    }
+
+    fn load_initial(&self, key: Key, value: &[u8]) -> Result<(), StoreError> {
+        let slot = self.store.insert(key, value)?;
+        self.snapshot_set(slot, Some((key.0, value.to_vec().into_boxed_slice())));
+        Ok(())
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.store.get(key)
+    }
+
+    fn record_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn txn_begin(&self) -> TxnToken {
+        TxnToken {
+            stamp: self.log.current_stamp(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn txn_end(&self, _token: TxnToken) {}
+
+    fn apply_write(
+        &self,
+        token: &mut TxnToken,
+        key: Key,
+        value: &[u8],
+    ) -> Result<Option<Value>, StoreError> {
+        let mut g = self
+            .store
+            .locked_slot_of(key)
+            .ok_or(StoreError::KeyNotFound(key))?;
+        let slot = g.slot();
+        let old = g.set_live(value);
+        drop(g);
+        token.writes.push(WriteRec {
+            key,
+            slot,
+            kind: WriteKind::Update,
+            created_stable: false,
+        });
+        Ok(old)
+    }
+
+    fn apply_insert(
+        &self,
+        token: &mut TxnToken,
+        key: Key,
+        value: &[u8],
+    ) -> Result<bool, StoreError> {
+        match self.store.insert(key, value) {
+            Ok(slot) => {
+                token.writes.push(WriteRec {
+                    key,
+                    slot,
+                    kind: WriteKind::Insert,
+                    created_stable: false,
+                });
+                Ok(true)
+            }
+            Err(StoreError::DuplicateKey(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn apply_delete(&self, token: &mut TxnToken, key: Key) -> Result<Option<Value>, StoreError> {
+        let mut g = self
+            .store
+            .locked_slot_of(key)
+            .ok_or(StoreError::KeyNotFound(key))?;
+        if g.live().is_none() {
+            return Err(StoreError::KeyNotFound(key));
+        }
+        let slot = g.slot();
+        let old = g.clear_live();
+        self.store.unlink(key)?;
+        drop(g);
+        token.writes.push(WriteRec {
+            key,
+            slot,
+            kind: WriteKind::Delete,
+            created_stable: false,
+        });
+        Ok(old)
+    }
+
+    fn on_commit(&self, token: &mut TxnToken, _seq: CommitSeq, _commit: PhaseStamp) {
+        let interval = self.upcoming.load(Ordering::Acquire);
+        for w in &token.writes {
+            self.tracker.mark(w.slot, interval);
+            if w.kind == WriteKind::Delete {
+                self.tombstones[(interval & 1) as usize].lock().push(w.key);
+                // The full variant's snapshot must drop the record too
+                // (the flush only visits dirty *live* slots).
+                self.snapshot_set(w.slot, None);
+                let g = self.store.lock_slot(w.slot);
+                g.release_if_vacant();
+            }
+        }
+    }
+
+    fn on_abort(&self, token: &mut TxnToken, undo: &[UndoRec]) {
+        let n = token.writes.len();
+        debug_assert_eq!(undo.len(), n);
+        for (i, u) in undo.iter().enumerate() {
+            let w = &token.writes[n - 1 - i];
+            match &u.img {
+                UndoImage::Restore(v) => {
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.set_live(v);
+                }
+                UndoImage::Remove => {
+                    let _ = self.store.unlink(u.key);
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.clear_live();
+                    g.release_if_vacant();
+                }
+                UndoImage::Reinsert(v) => {
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.set_live(v);
+                    drop(g);
+                    self.store.relink(u.key, w.slot);
+                }
+            }
+        }
+        let interval = self.upcoming.load(Ordering::Acquire);
+        for w in &token.writes {
+            self.tracker.mark(w.slot, interval);
+            self.tracker.mark(w.slot, interval + 1);
+        }
+    }
+
+    fn checkpoint(&self, env: &dyn EngineEnv, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        let start = Instant::now();
+        let id = self.upcoming.load(Ordering::Acquire);
+        let mut watermark = CommitSeq::ZERO;
+        let mut dirty: Vec<SlotId> = Vec::new();
+        let mut tombs: Vec<Key> = Vec::new();
+        // Quiesce only to persist the dirty-record table and flip the
+        // interval.
+        let quiesce = env.quiesced(&mut || {
+            watermark = self.log.last_seq();
+            dirty = self.tracker.dirty_slots(id, self.store.slot_high_water());
+            tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
+            self.persist_dirty_table(dir, id, &dirty)?;
+            self.upcoming.fetch_add(1, Ordering::Release);
+            Ok(())
+        })?;
+
+        // Asynchronous flush: reads CURRENT live values — the fuzziness.
+        let kind = if self.partial {
+            CheckpointKind::Partial
+        } else {
+            CheckpointKind::Full
+        };
+        let mut pending = dir.begin(kind, id, watermark)?;
+        if self.partial {
+            for key in &tombs {
+                pending.writer().write_tombstone(*key)?;
+            }
+            for &slot in &dirty {
+                let extracted = {
+                    let g = self.store.lock_slot(slot);
+                    if g.in_use() {
+                        g.live().map(|l| (g.key(), l.to_vec()))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((key, v)) = extracted {
+                    pending.writer().write_record(key, &v)?;
+                }
+            }
+        } else {
+            // Merge dirty records into the in-memory snapshot, then write
+            // the whole snapshot.
+            for &slot in &dirty {
+                let current = {
+                    let g = self.store.lock_slot(slot);
+                    if g.in_use() {
+                        g.live().map(|l| (g.key().0, l.to_vec().into_boxed_slice()))
+                    } else {
+                        None
+                    }
+                };
+                self.snapshot_set(slot, current);
+            }
+            let snapshot = self.snapshot.as_ref().expect("full variant");
+            for entry in snapshot.iter().take(self.store.slot_high_water()) {
+                let e = entry.lock();
+                if let Some((k, v)) = e.as_ref() {
+                    pending.writer().write_record(Key(*k), v)?;
+                }
+            }
+        }
+        let (records, bytes) = pending.publish()?;
+        self.tracker.clear(id);
+        Ok(CheckpointStats {
+            id,
+            kind,
+            watermark,
+            records,
+            bytes,
+            duration: start.elapsed(),
+            quiesce,
+        })
+    }
+
+    fn write_base_checkpoint(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        let start = Instant::now();
+        let id = self.upcoming.fetch_add(1, Ordering::AcqRel);
+        let watermark = self.log.last_seq();
+        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
+        for slot in self.store.slot_ids() {
+            let extracted = {
+                let g = self.store.lock_slot(slot);
+                if g.in_use() {
+                    g.live().map(|l| (g.key(), l.to_vec()))
+                } else {
+                    None
+                }
+            };
+            if let Some((key, v)) = extracted {
+                pending.writer().write_record(key, &v)?;
+            }
+        }
+        let (records, bytes) = pending.publish()?;
+        Ok(CheckpointStats {
+            id,
+            kind: CheckpointKind::Full,
+            watermark,
+            records,
+            bytes,
+            duration: start.elapsed(),
+            quiesce: std::time::Duration::ZERO,
+        })
+    }
+
+    fn resume_checkpoint_ids(&self, next_id: u64) {
+        self.upcoming.fetch_max(next_id, Ordering::AcqRel);
+    }
+
+    fn memory(&self) -> MemoryStats {
+        let mut m = self.store.memory();
+        m.extra_bytes += self.snapshot_mem.bytes();
+        m.extra_count += self.snapshot_mem.count();
+        m.overhead_bytes += self.tracker.heap_bytes();
+        m
+    }
+}
+
+impl std::fmt::Debug for FuzzyStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(records={})", self.name(), self.store.len())
+    }
+}

@@ -1,0 +1,336 @@
+//! Naive Snapshot (§4.1.1): quiesce the database, scan everything, write.
+//!
+//! "A naively taken snapshot involves acquiring an exclusive lock on the
+//! entire database, iterating through every existing key, and writing its
+//! corresponding value to disk." Throughput is zero for the whole
+//! checkpoint; in exchange the checkpoint completes quickly and there is
+//! no steady-state overhead at all. `pNaive` writes only records modified
+//! since the previous checkpoint (still under full quiesce).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use calc_common::types::{CommitSeq, Key, Value};
+use calc_storage::dirty::{BitVecTracker, DirtyTracker};
+use calc_storage::dual::{DualVersionStore, StoreConfig, StoreError};
+use calc_storage::mem::MemoryStats;
+use calc_txn::commitlog::{CommitLog, PhaseStamp};
+
+use calc_core::file::CheckpointKind;
+use calc_core::manifest::CheckpointDir;
+use calc_core::strategy::{
+    CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
+    WriteRec,
+};
+
+/// Naive Snapshot. The store is the same dual-version engine CALC uses,
+/// but only live versions are ever touched.
+pub struct NaiveStrategy {
+    store: DualVersionStore,
+    log: Arc<CommitLog>,
+    partial: bool,
+    tracker: Option<BitVecTracker>,
+    tombstones: [Mutex<Vec<Key>>; 2],
+    /// Id of the upcoming checkpoint; commits mark this interval.
+    /// Incremented inside the quiesced section, so no commit can straddle
+    /// it.
+    upcoming: AtomicU64,
+}
+
+impl NaiveStrategy {
+    /// Full-snapshot variant.
+    pub fn full(config: StoreConfig, log: Arc<CommitLog>) -> Self {
+        Self::new(config, log, false)
+    }
+
+    /// Partial-snapshot variant (pNaive).
+    pub fn partial(config: StoreConfig, log: Arc<CommitLog>) -> Self {
+        Self::new(config, log, true)
+    }
+
+    fn new(config: StoreConfig, log: Arc<CommitLog>, partial: bool) -> Self {
+        let capacity = config.capacity;
+        NaiveStrategy {
+            store: DualVersionStore::new(config),
+            log,
+            partial,
+            tracker: partial.then(|| BitVecTracker::new(capacity)),
+            tombstones: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+            upcoming: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store (tests / diagnostics).
+    pub fn store(&self) -> &DualVersionStore {
+        &self.store
+    }
+
+    fn write_full_scan(
+        &self,
+        dir: &CheckpointDir,
+        id: u64,
+        watermark: CommitSeq,
+    ) -> io::Result<(u64, u64)> {
+        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
+        for slot in self.store.slot_ids() {
+            let extracted = {
+                let g = self.store.lock_slot(slot);
+                if g.in_use() {
+                    g.live().map(|l| (g.key(), l.to_vec()))
+                } else {
+                    None
+                }
+            };
+            if let Some((key, v)) = extracted {
+                pending.writer().write_record(key, &v)?;
+            }
+        }
+        pending.publish()
+    }
+}
+
+impl CheckpointStrategy for NaiveStrategy {
+    fn name(&self) -> &'static str {
+        if self.partial {
+            "pNaive"
+        } else {
+            "Naive"
+        }
+    }
+
+    fn transaction_consistent(&self) -> bool {
+        true // the whole checkpoint happens under quiesce
+    }
+
+    fn partial(&self) -> bool {
+        self.partial
+    }
+
+    fn load_initial(&self, key: Key, value: &[u8]) -> Result<(), StoreError> {
+        self.store.insert(key, value).map(|_| ())
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.store.get(key)
+    }
+
+    fn record_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn txn_begin(&self) -> TxnToken {
+        TxnToken {
+            stamp: self.log.current_stamp(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn txn_end(&self, _token: TxnToken) {}
+
+    fn apply_write(
+        &self,
+        token: &mut TxnToken,
+        key: Key,
+        value: &[u8],
+    ) -> Result<Option<Value>, StoreError> {
+        let mut g = self
+            .store
+            .locked_slot_of(key)
+            .ok_or(StoreError::KeyNotFound(key))?;
+        let slot = g.slot();
+        let old = g.set_live(value);
+        drop(g);
+        token.writes.push(WriteRec {
+            key,
+            slot,
+            kind: WriteKind::Update,
+            created_stable: false,
+        });
+        Ok(old)
+    }
+
+    fn apply_insert(
+        &self,
+        token: &mut TxnToken,
+        key: Key,
+        value: &[u8],
+    ) -> Result<bool, StoreError> {
+        match self.store.insert(key, value) {
+            Ok(slot) => {
+                token.writes.push(WriteRec {
+                    key,
+                    slot,
+                    kind: WriteKind::Insert,
+                    created_stable: false,
+                });
+                Ok(true)
+            }
+            Err(StoreError::DuplicateKey(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn apply_delete(&self, token: &mut TxnToken, key: Key) -> Result<Option<Value>, StoreError> {
+        let mut g = self
+            .store
+            .locked_slot_of(key)
+            .ok_or(StoreError::KeyNotFound(key))?;
+        if g.live().is_none() {
+            return Err(StoreError::KeyNotFound(key));
+        }
+        let slot = g.slot();
+        let old = g.clear_live();
+        self.store.unlink(key)?;
+        drop(g);
+        token.writes.push(WriteRec {
+            key,
+            slot,
+            kind: WriteKind::Delete,
+            created_stable: false,
+        });
+        Ok(old)
+    }
+
+    fn on_commit(&self, token: &mut TxnToken, _seq: CommitSeq, _commit: PhaseStamp) {
+        let interval = self.upcoming.load(Ordering::Acquire);
+        for w in &token.writes {
+            if let Some(t) = &self.tracker {
+                t.mark(w.slot, interval);
+            }
+            if w.kind == WriteKind::Delete {
+                if self.partial {
+                    self.tombstones[(interval & 1) as usize].lock().push(w.key);
+                }
+                let g = self.store.lock_slot(w.slot);
+                g.release_if_vacant();
+            }
+        }
+    }
+
+    fn on_abort(&self, token: &mut TxnToken, undo: &[UndoRec]) {
+        let n = token.writes.len();
+        debug_assert_eq!(undo.len(), n);
+        for (i, u) in undo.iter().enumerate() {
+            let w = &token.writes[n - 1 - i];
+            match &u.img {
+                UndoImage::Restore(v) => {
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.set_live(v);
+                }
+                UndoImage::Remove => {
+                    let _ = self.store.unlink(u.key);
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.clear_live();
+                    g.release_if_vacant();
+                }
+                UndoImage::Reinsert(v) => {
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.set_live(v);
+                    drop(g);
+                    self.store.relink(u.key, w.slot);
+                }
+            }
+        }
+        if let Some(t) = &self.tracker {
+            let interval = self.upcoming.load(Ordering::Acquire);
+            for w in &token.writes {
+                t.mark(w.slot, interval);
+                t.mark(w.slot, interval + 1);
+            }
+        }
+    }
+
+    fn checkpoint(&self, env: &dyn EngineEnv, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        let start = Instant::now();
+        let id = self.upcoming.load(Ordering::Acquire);
+        let mut records = 0;
+        let mut bytes = 0;
+        let mut watermark = CommitSeq::ZERO;
+        // The entire checkpoint runs with the database exclusively locked.
+        let quiesce = env.quiesced(&mut || {
+            watermark = self.log.last_seq();
+            if self.partial {
+                let tracker = self.tracker.as_ref().expect("partial");
+                let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
+                let tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
+                for key in tombs {
+                    pending.writer().write_tombstone(key)?;
+                }
+                for slot in tracker.dirty_slots(id, self.store.slot_high_water()) {
+                    let extracted = {
+                        let g = self.store.lock_slot(slot);
+                        if g.in_use() {
+                            g.live().map(|l| (g.key(), l.to_vec()))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some((key, v)) = extracted {
+                        pending.writer().write_record(key, &v)?;
+                    }
+                }
+                let (r, b) = pending.publish()?;
+                records = r;
+                bytes = b;
+                tracker.clear(id);
+            } else {
+                let (r, b) = self.write_full_scan(dir, id, watermark)?;
+                records = r;
+                bytes = b;
+            }
+            self.upcoming.fetch_add(1, Ordering::Release);
+            Ok(())
+        })?;
+        Ok(CheckpointStats {
+            id,
+            kind: if self.partial {
+                CheckpointKind::Partial
+            } else {
+                CheckpointKind::Full
+            },
+            watermark,
+            records,
+            bytes,
+            duration: start.elapsed(),
+            quiesce,
+        })
+    }
+
+    fn write_base_checkpoint(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        let start = Instant::now();
+        let id = self.upcoming.fetch_add(1, Ordering::AcqRel);
+        let watermark = self.log.last_seq();
+        let (records, bytes) = self.write_full_scan(dir, id, watermark)?;
+        Ok(CheckpointStats {
+            id,
+            kind: CheckpointKind::Full,
+            watermark,
+            records,
+            bytes,
+            duration: start.elapsed(),
+            quiesce: Duration::ZERO,
+        })
+    }
+
+    fn resume_checkpoint_ids(&self, next_id: u64) {
+        self.upcoming.fetch_max(next_id, Ordering::AcqRel);
+    }
+
+    fn memory(&self) -> MemoryStats {
+        let mut m = self.store.memory();
+        if let Some(t) = &self.tracker {
+            m.overhead_bytes += t.heap_bytes();
+        }
+        m
+    }
+}
+
+impl std::fmt::Debug for NaiveStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(records={})", self.name(), self.store.len())
+    }
+}

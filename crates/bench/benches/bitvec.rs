@@ -1,0 +1,55 @@
+//! Atomic bit-vector operations, including the O(1) polarity swap versus
+//! the O(n) full reset it replaces (§2.2.5's `SwapAvailableAndNotAvailable`).
+
+use calc_common::bitvec::{AtomicBitVec, PolarityBitVec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 1 << 20;
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitvec");
+    g.throughput(Throughput::Elements(1));
+
+    let bv = AtomicBitVec::new(N);
+    let mut i = 0usize;
+    g.bench_function("set", |b| {
+        b.iter(|| {
+            i = (i + 4097) & (N - 1);
+            bv.set(i, true)
+        })
+    });
+    g.bench_function("get", |b| {
+        b.iter(|| {
+            i = (i + 4097) & (N - 1);
+            bv.get(i)
+        })
+    });
+    g.bench_function("test_and_set", |b| {
+        b.iter(|| {
+            i = (i + 4097) & (N - 1);
+            bv.test_and_set(i)
+        })
+    });
+
+    let pv = PolarityBitVec::new(N);
+    g.bench_function("polarity_mark", |b| {
+        b.iter(|| {
+            i = (i + 4097) & (N - 1);
+            pv.mark(i)
+        })
+    });
+
+    g.throughput(Throughput::Elements(N as u64));
+    // The paper's trick: swap is O(1) while the reset it replaces scans
+    // every word.
+    g.bench_function(BenchmarkId::new("reset", "polarity_swap"), |b| {
+        b.iter(|| pv.swap_polarity())
+    });
+    g.bench_function(BenchmarkId::new("reset", "full_clear"), |b| {
+        b.iter(|| bv.clear_all())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitvec);
+criterion_main!(benches);

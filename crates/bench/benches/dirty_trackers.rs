@@ -1,0 +1,51 @@
+//! The §2.3 ablation: bit vector vs hash table vs bloom filter for
+//! tracking dirty keys. The paper found the bit vector's cache behaviour
+//! loses to the others' smaller footprints by less than their extra
+//! bookkeeping costs — this bench reproduces that comparison.
+
+use calc_storage::dirty::{BitVecTracker, BloomTracker, DirtyTracker, HashSetTracker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const DB: usize = 1 << 20;
+const DIRTY: usize = DB / 10; // 10% write locality
+
+fn trackers() -> Vec<(&'static str, Box<dyn DirtyTracker>)> {
+    vec![
+        ("bitvec", Box::new(BitVecTracker::new(DB)) as Box<dyn DirtyTracker>),
+        ("hashset", Box::new(HashSetTracker::new())),
+        ("bloom", Box::new(BloomTracker::new(DIRTY))),
+    ]
+}
+
+fn bench_mark(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dirty_mark");
+    g.throughput(Throughput::Elements(1));
+    for (name, t) in trackers() {
+        let mut i = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, t| {
+            b.iter(|| {
+                i = (i + 4099) & (DB as u32 - 1);
+                t.mark(i % (DIRTY as u32), 0);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_collect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dirty_collect");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(DIRTY as u64));
+    for (name, t) in trackers() {
+        for s in 0..DIRTY as u32 {
+            t.mark(s * 7 % DB as u32, 0);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(name), &t, |b, t| {
+            b.iter(|| t.dirty_slots(0, DB).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mark, bench_collect);
+criterion_main!(benches);

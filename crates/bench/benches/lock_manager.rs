@@ -1,0 +1,73 @@
+//! Lock-manager throughput: uncontended and contended acquisition of the
+//! microbenchmark's 10-key exclusive lock sets.
+
+use std::sync::Arc;
+
+use calc_common::rng::SplitMix;
+use calc_common::types::Key;
+use calc_txn::locks::{LockManager, LockMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn lockset(rng: &mut SplitMix, space: u64, n: usize) -> Vec<(Key, LockMode)> {
+    (0..n)
+        .map(|_| (Key(rng.next_below(space)), LockMode::Exclusive))
+        .collect()
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks_single_thread");
+    g.throughput(Throughput::Elements(10));
+    let mgr = LockManager::new(1024);
+    let mut rng = SplitMix::new(1);
+    for &space in &[1_000_000u64, 1_000] {
+        g.bench_with_input(
+            BenchmarkId::new("acquire10_release", space),
+            &space,
+            |b, &space| {
+                b.iter(|| {
+                    let set = lockset(&mut rng, space, 10);
+                    let guard = mgr.acquire(&set);
+                    guard.release();
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locks_contended");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(40_000));
+    for &space in &[1_000_000u64, 100] {
+        g.bench_with_input(
+            BenchmarkId::new("4threads_x_10k_txns", space),
+            &space,
+            |b, &space| {
+                b.iter(|| {
+                    let mgr = Arc::new(LockManager::new(1024));
+                    let handles: Vec<_> = (0..4u64)
+                        .map(|t| {
+                            let mgr = mgr.clone();
+                            std::thread::spawn(move || {
+                                let mut rng = SplitMix::new(t);
+                                for _ in 0..10_000 {
+                                    let set = lockset(&mut rng, space, 10);
+                                    let guard = mgr.acquire(&set);
+                                    std::hint::black_box(&guard);
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_contended);
+criterion_main!(benches);

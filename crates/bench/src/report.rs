@@ -1,0 +1,105 @@
+//! CSV and table output helpers.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes rows of fields as CSV at `path` (creating parent directories).
+pub fn write_csv(
+    path: &Path,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<String>>,
+) -> io::Result<PathBuf> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(out, "{}", row.join(","))?;
+    }
+    out.flush()?;
+    Ok(path.to_path_buf())
+}
+
+/// Prints an aligned table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let formatted: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", formatted.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a count with engineering suffixes, as the paper's axes do
+/// ("1.5 M").
+pub fn fmt_count(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Formats nanoseconds human-readably.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = std::env::temp_dir().join(format!(
+            "calc-report-{}/sub/test.csv",
+            std::process::id()
+        ));
+        write_csv(
+            &path,
+            &["a", "b"],
+            vec![vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_count(1_500_000.0), "1.50M");
+        assert_eq!(fmt_count(2_500.0), "2.5k");
+        assert_eq!(fmt_count(12.0), "12");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+        assert_eq!(fmt_ns(1_500_000), "1.5ms");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(900), "900ns");
+    }
+}

@@ -1,0 +1,40 @@
+//! Shared primitives for the CALC checkpointing database.
+//!
+//! This crate contains the low-level, dependency-free building blocks that
+//! every other crate in the workspace uses:
+//!
+//! * [`bitvec`] — atomic bit vectors, including the polarity-swapping
+//!   variant that implements the paper's `SwapAvailableAndNotAvailable`
+//!   trick (§2.2.5): after a checkpoint cycle every `stable_status` bit is
+//!   left in the *available* state, and instead of scanning the whole
+//!   vector to reset it, the *meaning* of 0/1 is flipped.
+//! * [`bloom`] — a split-block bloom filter, one of the three dirty-key
+//!   tracker designs evaluated in §2.3 of the paper.
+//! * [`crc`] — CRC-32 (IEEE), used to checksum checkpoint files so that a
+//!   crash mid-capture leaves a detectably-invalid file.
+//! * [`hist`] — a log-bucketed latency histogram (HDR-style) used to
+//!   produce the latency CDFs of Figure 5.
+//! * [`striped`] — striped mutexes guarding per-record version data; the
+//!   critical sections are a few instructions, preserving the paper's
+//!   "no blocking synchronization" behaviour while being data-race-free.
+//! * [`types`] — `Key`, record values, and small shared identifiers.
+//! * [`rng`] — a tiny deterministic splitmix64 generator used where
+//!   reproducibility across runs matters more than statistical quality.
+
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod bloom;
+pub mod crc;
+pub mod hist;
+pub mod phase;
+pub mod rng;
+pub mod striped;
+pub mod types;
+
+pub use bitvec::{AtomicBitVec, PolarityBitVec};
+pub use bloom::BloomFilter;
+pub use hist::Histogram;
+pub use phase::Phase;
+pub use striped::StripedMutex;
+pub use types::{CommitSeq, Key, TxnId, Value};

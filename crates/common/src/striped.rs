@@ -1,0 +1,121 @@
+//! Striped mutexes guarding per-record version data.
+//!
+//! The checkpointer thread reads and erases stable record versions
+//! *without* acquiring logical (transaction) locks — that asynchrony is the
+//! entire point of the paper. The paper's C++ implementation relies on
+//! benign word-sized races; in Rust we instead guard each record slot's
+//! version data with one of `N` striped mutexes. Critical sections are a
+//! handful of instructions (a pointer swap and a bit flip), and with 4096
+//! stripes contention is negligible, so the paper's "no blocking
+//! synchronization" behaviour is preserved in practice while staying
+//! data-race-free. Every checkpointing strategy pays the identical stripe
+//! cost, so relative overheads (the quantity the paper measures) are
+//! unaffected.
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// A power-of-two array of cache-line-padded mutexes, indexed by slot.
+pub struct StripedMutex {
+    stripes: Box<[PaddedMutex]>,
+    mask: usize,
+}
+
+#[repr(align(64))]
+struct PaddedMutex(Mutex<()>);
+
+impl StripedMutex {
+    /// Default stripe count: enough that 16 worker threads rarely collide.
+    pub const DEFAULT_STRIPES: usize = 4096;
+
+    /// Creates a striped lock with `stripes` rounded up to a power of two.
+    pub fn new(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        StripedMutex {
+            stripes: (0..n).map(|_| PaddedMutex(Mutex::new(()))).collect(),
+            mask: n - 1,
+        }
+    }
+
+    /// Locks the stripe covering `slot` and returns its guard.
+    #[inline]
+    pub fn lock(&self, slot: usize) -> MutexGuard<'_, ()> {
+        // Multiply-shift so adjacent slots land on different stripes
+        // (adjacent slots are exactly what a capture scan touches).
+        let h = (slot as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32;
+        self.stripes[h as usize & self.mask].0.lock()
+    }
+
+    /// Number of stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+}
+
+impl Default for StripedMutex {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_STRIPES)
+    }
+}
+
+impl std::fmt::Debug for StripedMutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StripedMutex(stripes={})", self.stripes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn rounds_to_power_of_two() {
+        assert_eq!(StripedMutex::new(1000).stripe_count(), 1024);
+        assert_eq!(StripedMutex::new(1).stripe_count(), 1);
+        assert_eq!(StripedMutex::new(0).stripe_count(), 1);
+    }
+
+    #[test]
+    fn same_slot_is_mutually_exclusive() {
+        // Hammer one slot from many threads; a non-atomic counter under the
+        // stripe lock must not lose updates.
+        let lock = Arc::new(StripedMutex::new(16));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut shared = 0usize;
+        let shared_ptr = &mut shared as *mut usize as usize;
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = lock.clone();
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        let _g = lock.lock(7);
+                        // SAFETY: all mutation happens under the same
+                        // stripe guard; the main thread joins before
+                        // reading.
+                        unsafe {
+                            *(shared_ptr as *mut usize) += 1;
+                        }
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared, 80_000);
+        assert_eq!(counter.load(Ordering::Relaxed), 80_000);
+    }
+
+    #[test]
+    fn adjacent_slots_spread_across_stripes() {
+        let lock = StripedMutex::new(4096);
+        // Lock slot 0, then verify slot 1 can be locked without blocking —
+        // i.e. the multiply-shift keeps neighbours apart.
+        let _g0 = lock.lock(0);
+        let g1 = lock.lock(1); // would deadlock if same stripe
+        drop(g1);
+    }
+}

@@ -1,0 +1,604 @@
+//! The CALC algorithm (§2.2) and its partial-checkpoint variant pCALC
+//! (§2.3).
+//!
+//! CALC captures a transaction-consistent checkpoint at a **virtual point
+//! of consistency** — a position in the commit log, not a moment when the
+//! system is idle. The implementation follows Figure 1 of the paper:
+//!
+//! * **ApplyWrite** ([`CalcStrategy::apply_write`]): a transaction whose
+//!   `start-phase` is PREPARE provisionally copies live→stable before its
+//!   first update of a record; one that started in RESOLVE/CAPTURE copies
+//!   and marks `stable_status` *available*; one that started in
+//!   COMPLETE/REST erases any leftover stable version.
+//! * **Commit hook** ([`CalcStrategy::on_commit`]): a PREPARE-started
+//!   transaction that committed during PREPARE erases the provisional
+//!   copies it made (its writes are *inside* the checkpoint); one that
+//!   committed during RESOLVE marks them available (its writes are
+//!   *outside*, so the pre-images must be captured).
+//! * **RunCheckpointer** ([`CalcStrategy::checkpoint`]): drives REST →
+//!   PREPARE → (drain) → RESOLVE → (drain) → CAPTURE → scan → COMPLETE →
+//!   (drain) → `SwapAvailableAndNotAvailable` → REST.
+//!
+//! Deviations from the paper's pseudocode, both deliberate:
+//!
+//! 1. Figure 1's PREPARE branch copies live→stable whenever the status bit
+//!    is *not available*, even if a stable version already exists (it
+//!    cannot in the single-write case the paper discusses, but a
+//!    transaction writing the same record twice would clobber its own
+//!    pre-image). We copy only when no stable version exists.
+//! 2. The capture scan in Figure 1 reads `db[key].live` optimistically and
+//!    re-checks the stable version to tolerate a racing writer. Our
+//!    per-slot mutex makes the scan/writer interaction atomic, so the
+//!    re-check collapses away.
+//!
+//! **pCALC** adds: interval-indexed dirty bit vectors (marked by the
+//! commit hook, double-buffered per §2.3), tombstone buffers for deletions
+//! (so partial checkpoints can be merged), a capture that visits only
+//! dirty slots, and — since pCALC never performs the polarity swap (that
+//! would require driving *every* bit to available, i.e. a full scan) — an
+//! end-of-cycle cleanup pass over the *next* interval's dirty slots that
+//! erases post-point stable versions and resets their status bits.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use calc_common::phase::Phase;
+use calc_common::types::{CommitSeq, Key, Value};
+use calc_storage::dirty::{BitVecTracker, DirtyTracker};
+use calc_storage::dual::{DualVersionStore, StoreConfig, StoreError};
+use calc_storage::mem::MemoryStats;
+use calc_txn::commitlog::{CommitLog, PhaseStamp};
+
+use crate::file::CheckpointKind;
+use crate::manifest::CheckpointDir;
+use crate::phase::PhaseController;
+use crate::strategy::{
+    CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
+    WriteRec,
+};
+
+/// CALC / pCALC. Construct with [`CalcStrategy::full`] or
+/// [`CalcStrategy::partial`].
+pub struct CalcStrategy {
+    store: DualVersionStore,
+    phases: PhaseController,
+    partial: bool,
+    tracker: Option<BitVecTracker>,
+    /// Tombstone buffers for partial checkpoints, indexed by
+    /// `checkpoint interval & 1` (same double-buffering discipline as the
+    /// dirty tracker).
+    tombstones: [Mutex<Vec<Key>>; 2],
+}
+
+impl CalcStrategy {
+    /// Full-checkpoint CALC.
+    pub fn full(config: StoreConfig, log: Arc<CommitLog>) -> Self {
+        Self::new(config, log, false)
+    }
+
+    /// Partial-checkpoint pCALC.
+    pub fn partial(config: StoreConfig, log: Arc<CommitLog>) -> Self {
+        Self::new(config, log, true)
+    }
+
+    fn new(config: StoreConfig, log: Arc<CommitLog>, partial: bool) -> Self {
+        let capacity = config.capacity;
+        CalcStrategy {
+            store: DualVersionStore::new(config),
+            phases: PhaseController::new(log),
+            partial,
+            tracker: partial.then(|| BitVecTracker::new(capacity)),
+            tombstones: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+        }
+    }
+
+    /// The underlying store (tests / diagnostics).
+    pub fn store(&self) -> &DualVersionStore {
+        &self.store
+    }
+
+    /// The phase controller (shared with the engine's transaction path).
+    pub fn phases(&self) -> &PhaseController {
+        &self.phases
+    }
+
+    /// Writes a full base checkpoint of the current state — used right
+    /// after initial load, before any transactions run, so that partial
+    /// checkpoints always have a full ancestor to merge onto. Bumps the
+    /// cycle counter so the first runtime checkpoint gets a distinct id.
+    pub fn write_base_checkpoint(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        let start = Instant::now();
+        let id = self.phases.log().current_stamp().cycle;
+        let watermark = self.phases.log().last_seq();
+        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
+        for slot in self.store.slot_ids() {
+            let extracted = {
+                let g = self.store.lock_slot(slot);
+                if g.in_use() {
+                    g.live().map(|l| (g.key(), l.to_vec()))
+                } else {
+                    None
+                }
+            };
+            if let Some((key, v)) = extracted {
+                pending.writer().write_record(key, &v)?;
+            }
+        }
+        let (records, bytes) = pending.publish()?;
+        // Rest→Rest transition: no phase change, cycle += 1.
+        self.phases.transition(Phase::Rest);
+        Ok(CheckpointStats {
+            id,
+            kind: CheckpointKind::Full,
+            watermark,
+            records,
+            bytes,
+            duration: start.elapsed(),
+            quiesce: std::time::Duration::ZERO,
+        })
+    }
+
+    fn checkpoint_full(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        let start = Instant::now();
+        let id = self.phases.log().current_stamp().cycle;
+
+        self.phases.transition(Phase::Prepare);
+        self.phases.drain_others(Phase::Prepare);
+        // The virtual point of consistency.
+        let watermark = self.phases.transition(Phase::Resolve);
+        self.phases.drain_others(Phase::Resolve);
+        self.phases.transition(Phase::Capture);
+
+        let status = self.store.stable_status();
+        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
+        for slot in self.store.slot_ids() {
+            let extracted = {
+                let mut g = self.store.lock_slot(slot);
+                if !g.in_use() {
+                    // Normalize vacant slots so the polarity swap leaves
+                    // every bit reading not-available.
+                    status.mark(slot as usize);
+                    None
+                } else if status.is_marked(slot as usize) {
+                    // Post-point writers (or the resolve-commit hook)
+                    // preserved an explicit stable version; an available
+                    // bit without one is a record inserted after the point
+                    // of consistency — excluded.
+                    if g.has_stable() {
+                        let key = g.key();
+                        let v = g.stable().expect("checked").to_vec();
+                        g.erase_stable();
+                        if g.live().is_none() {
+                            // Deleted after the point: captured, now gone.
+                            g.release_if_vacant();
+                        }
+                        Some((key, v))
+                    } else {
+                        None
+                    }
+                } else {
+                    status.mark(slot as usize);
+                    let key = g.key();
+                    if g.has_stable() {
+                        let v = g.stable().expect("checked").to_vec();
+                        g.erase_stable();
+                        if g.live().is_none() {
+                            g.release_if_vacant();
+                        }
+                        Some((key, v))
+                    } else if let Some(live) = g.live() {
+                        Some((key, live.to_vec()))
+                    } else {
+                        // Unreachable in the protocol (a record with no
+                        // versions is released at delete-commit), but stay
+                        // defensive.
+                        g.release_if_vacant();
+                        None
+                    }
+                }
+            };
+            if let Some((key, v)) = extracted {
+                pending.writer().write_record(key, &v)?;
+            }
+        }
+        let (records, bytes) = pending.publish()?;
+
+        self.phases.transition(Phase::Complete);
+        self.phases.drain_others(Phase::Complete);
+        // All bits now read available and no stable versions remain:
+        // SwapAvailableAndNotAvailable makes every bit read not-available
+        // in O(1) (§2.2.5).
+        status.swap_polarity();
+        self.phases.transition(Phase::Rest);
+
+        Ok(CheckpointStats {
+            id,
+            kind: CheckpointKind::Full,
+            watermark,
+            records,
+            bytes,
+            duration: start.elapsed(),
+            quiesce: std::time::Duration::ZERO,
+        })
+    }
+
+    fn checkpoint_partial(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        let start = Instant::now();
+        let tracker = self.tracker.as_ref().expect("partial mode has a tracker");
+        let id = self.phases.log().current_stamp().cycle;
+
+        self.phases.transition(Phase::Prepare);
+        self.phases.drain_others(Phase::Prepare);
+        let watermark = self.phases.transition(Phase::Resolve);
+        self.phases.drain_others(Phase::Resolve);
+        self.phases.transition(Phase::Capture);
+
+        let status = self.store.stable_status();
+        let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
+        // Tombstones first: within one partial checkpoint a tombstone must
+        // precede any same-key re-insertion so sequential merge replay is
+        // last-event-wins.
+        let tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
+        for key in tombs {
+            pending.writer().write_tombstone(key)?;
+        }
+        let high_water = self.store.slot_high_water();
+        for slot in tracker.dirty_slots(id, high_water) {
+            let extracted = {
+                let mut g = self.store.lock_slot(slot);
+                if !g.in_use() {
+                    // Freed by a pre-point delete; its tombstone is
+                    // already in the file.
+                    None
+                } else if status.is_marked(slot as usize) {
+                    if g.has_stable() {
+                        let key = g.key();
+                        let v = g.stable().expect("checked").to_vec();
+                        g.erase_stable();
+                        // No polarity swap in pCALC: reset explicitly.
+                        status.unmark(slot as usize);
+                        if g.live().is_none() {
+                            g.release_if_vacant();
+                        }
+                        Some((key, v))
+                    } else {
+                        // Insert-after-point (possibly on a reused slot):
+                        // belongs to the next checkpoint; leave its bit.
+                        None
+                    }
+                } else {
+                    // Dirty but never written after the point: live IS the
+                    // point-of-consistency value.
+                    g.live().map(|l| (g.key(), l.to_vec()))
+                }
+            };
+            if let Some((key, v)) = extracted {
+                pending.writer().write_record(key, &v)?;
+            }
+        }
+        let (records, bytes) = pending.publish()?;
+
+        self.phases.transition(Phase::Complete);
+        self.phases.drain_others(Phase::Complete);
+        // End-of-cycle cleanup: post-point writers left provisional stable
+        // versions + available bits on slots belonging to the *next*
+        // checkpoint interval. They hold values as of THIS checkpoint's
+        // point, which the next checkpoint must not reuse — erase them and
+        // reset the bits. O(dirty), preserving pCALC's no-full-scan
+        // property. Safe here: capture-started transactions have drained,
+        // and complete/rest-started writers never create stable versions.
+        for slot in tracker.dirty_slots(id + 1, self.store.slot_high_water()) {
+            let mut g = self.store.lock_slot(slot);
+            if g.in_use() {
+                g.erase_stable();
+            }
+            status.unmark(slot as usize);
+            drop(g);
+        }
+        tracker.clear(id);
+        self.phases.transition(Phase::Rest);
+
+        Ok(CheckpointStats {
+            id,
+            kind: CheckpointKind::Partial,
+            watermark,
+            records,
+            bytes,
+            duration: start.elapsed(),
+            quiesce: std::time::Duration::ZERO,
+        })
+    }
+}
+
+impl CheckpointStrategy for CalcStrategy {
+    fn name(&self) -> &'static str {
+        if self.partial {
+            "pCALC"
+        } else {
+            "CALC"
+        }
+    }
+
+    fn transaction_consistent(&self) -> bool {
+        true
+    }
+
+    fn partial(&self) -> bool {
+        self.partial
+    }
+
+    fn load_initial(&self, key: Key, value: &[u8]) -> Result<(), StoreError> {
+        self.store.insert(key, value).map(|_| ())
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.store.get(key)
+    }
+
+    fn record_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn txn_begin(&self) -> TxnToken {
+        TxnToken {
+            stamp: self.phases.begin(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn txn_end(&self, token: TxnToken) {
+        self.phases.end(token.stamp);
+    }
+
+    fn apply_write(
+        &self,
+        token: &mut TxnToken,
+        key: Key,
+        value: &[u8],
+    ) -> Result<Option<Value>, StoreError> {
+        let status = self.store.stable_status();
+        let mut g = self
+            .store
+            .locked_slot_of(key)
+            .ok_or(StoreError::KeyNotFound(key))?;
+        let slot = g.slot();
+        let mut created = false;
+        match token.stamp.phase {
+            Phase::Prepare => {
+                // Provisional pre-image: kept or discarded by the commit
+                // hook depending on the commit phase.
+                if !status.is_marked(slot as usize) && !g.has_stable() {
+                    g.copy_live_to_stable();
+                    created = true;
+                }
+            }
+            Phase::Resolve | Phase::Capture => {
+                // Definitely after the point of consistency: preserve the
+                // point value and mark it available.
+                if !status.is_marked(slot as usize) {
+                    if !g.has_stable() {
+                        g.copy_live_to_stable();
+                        created = true;
+                    }
+                    status.mark(slot as usize);
+                }
+            }
+            Phase::Complete | Phase::Rest => {
+                g.erase_stable();
+            }
+        }
+        let old = g.set_live(value);
+        drop(g);
+        token.writes.push(WriteRec {
+            key,
+            slot,
+            kind: WriteKind::Update,
+            created_stable: created,
+        });
+        Ok(old)
+    }
+
+    fn apply_insert(
+        &self,
+        token: &mut TxnToken,
+        key: Key,
+        value: &[u8],
+    ) -> Result<bool, StoreError> {
+        // A record created after the point of consistency must be skipped
+        // by the capture scan: available bit with no stable version (the
+        // paper's add-status bit vector, represented structurally).
+        let marked = matches!(token.stamp.phase, Phase::Resolve | Phase::Capture);
+        match self.store.insert_with_status(key, value, marked) {
+            Ok(slot) => {
+                token.writes.push(WriteRec {
+                    key,
+                    slot,
+                    kind: WriteKind::Insert,
+                    created_stable: false,
+                });
+                Ok(true)
+            }
+            Err(StoreError::DuplicateKey(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn apply_delete(&self, token: &mut TxnToken, key: Key) -> Result<Option<Value>, StoreError> {
+        let status = self.store.stable_status();
+        let mut g = self
+            .store
+            .locked_slot_of(key)
+            .ok_or(StoreError::KeyNotFound(key))?;
+        if g.live().is_none() {
+            return Err(StoreError::KeyNotFound(key));
+        }
+        let slot = g.slot();
+        let mut created = false;
+        match token.stamp.phase {
+            Phase::Prepare => {
+                if !status.is_marked(slot as usize) && !g.has_stable() {
+                    g.copy_live_to_stable();
+                    created = true;
+                }
+            }
+            Phase::Resolve | Phase::Capture => {
+                if !status.is_marked(slot as usize) {
+                    if !g.has_stable() {
+                        g.copy_live_to_stable();
+                        created = true;
+                    }
+                    status.mark(slot as usize);
+                }
+            }
+            Phase::Complete | Phase::Rest => {
+                g.erase_stable();
+            }
+        }
+        let old = g.clear_live();
+        // Unlink while holding the slot guard: no new transaction can
+        // reach the slot, but its stable version (if any) stays for the
+        // capture thread. Slot reclamation happens at commit.
+        self.store.unlink(key)?;
+        drop(g);
+        token.writes.push(WriteRec {
+            key,
+            slot,
+            kind: WriteKind::Delete,
+            created_stable: created,
+        });
+        Ok(old)
+    }
+
+    fn on_commit(&self, token: &mut TxnToken, _seq: CommitSeq, commit: PhaseStamp) {
+        let interval = commit.checkpoint_interval();
+        let prepare_started = token.stamp.phase == Phase::Prepare;
+        let status = self.store.stable_status();
+        for w in &token.writes {
+            if let Some(tracker) = &self.tracker {
+                tracker.mark(w.slot, interval);
+            }
+            if prepare_started {
+                match commit.phase {
+                    Phase::Prepare => {
+                        // Committed before the point: its writes are in the
+                        // checkpoint via live versions; discard the
+                        // provisional pre-images it made.
+                        if w.created_stable {
+                            let mut g = self.store.lock_slot(w.slot);
+                            g.erase_stable();
+                        }
+                    }
+                    Phase::Resolve => {
+                        // Committed after the point: pre-images become the
+                        // capture thread's stable reads.
+                        let g = self.store.lock_slot(w.slot);
+                        status.mark(w.slot as usize);
+                        drop(g);
+                    }
+                    other => {
+                        debug_assert!(
+                            false,
+                            "prepare-started txn committed in {other} — \
+                             the resolve drain forbids this"
+                        );
+                    }
+                }
+            }
+            if w.kind == WriteKind::Delete {
+                if self.partial {
+                    self.tombstones[(interval & 1) as usize].lock().push(w.key);
+                }
+                // Pre-point deletes (and post-point deletes whose slot was
+                // already captured) leave no versions behind: reclaim.
+                let g = self.store.lock_slot(w.slot);
+                g.release_if_vacant();
+            }
+        }
+    }
+
+    fn on_abort(&self, token: &mut TxnToken, undo: &[UndoRec]) {
+        // `undo` is newest-first, one entry per write record:
+        // undo[i] rolls back token.writes[len - 1 - i].
+        debug_assert_eq!(undo.len(), token.writes.len());
+        let n = token.writes.len();
+        for (i, u) in undo.iter().enumerate() {
+            let w = &token.writes[n - 1 - i];
+            debug_assert_eq!(w.key, u.key);
+            match &u.img {
+                UndoImage::Restore(v) => {
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.set_live(v);
+                }
+                UndoImage::Remove => {
+                    let _ = self.store.unlink(u.key);
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.clear_live();
+                    g.release_if_vacant();
+                }
+                UndoImage::Reinsert(v) => {
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.set_live(v);
+                    drop(g);
+                    self.store.relink(u.key, w.slot);
+                }
+            }
+        }
+        // A prepare-started abort discards the provisional pre-images it
+        // created (live has been restored to the same value, so nothing is
+        // lost). Resolve/capture-started aborts KEEP their stable versions
+        // and status bits: those hold correct point-of-consistency values.
+        if token.stamp.phase == Phase::Prepare {
+            for w in &token.writes {
+                if w.created_stable {
+                    let mut g = self.store.lock_slot(w.slot);
+                    g.erase_stable();
+                }
+            }
+        }
+        // Conservative dirty marks (false positives are harmless; missing
+        // marks would leak stable versions past the pCALC cleanup pass).
+        if let Some(tracker) = &self.tracker {
+            for w in &token.writes {
+                tracker.mark(w.slot, token.stamp.cycle);
+                tracker.mark(w.slot, token.stamp.cycle + 1);
+            }
+        }
+    }
+
+    fn checkpoint(&self, _env: &dyn EngineEnv, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        // CALC is the one algorithm here that never quiesces: `_env` is
+        // deliberately unused.
+        if self.partial {
+            self.checkpoint_partial(dir)
+        } else {
+            self.checkpoint_full(dir)
+        }
+    }
+
+    fn write_base_checkpoint(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
+        CalcStrategy::write_base_checkpoint(self, dir)
+    }
+
+    fn memory(&self) -> MemoryStats {
+        let mut m = self.store.memory();
+        if let Some(t) = &self.tracker {
+            m.overhead_bytes += t.heap_bytes();
+        }
+        m
+    }
+}
+
+impl std::fmt::Debug for CalcStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}(records={}, {:?})",
+            self.name(),
+            self.store.len(),
+            self.phases
+        )
+    }
+}

@@ -1,0 +1,478 @@
+//! The on-disk checkpoint file format.
+//!
+//! ```text
+//! header   "CALCCKPT" | version:u32 | kind:u8 | id:u64 | watermark:u64
+//! records  repeated:  flag:u8 (0 value, 1 tombstone) | key:u64 | len:u32 | bytes
+//! footer   "CKPTEND." | record_count:u64 | crc32:u32
+//! ```
+//!
+//! All integers little-endian. The CRC covers header + records. A crash
+//! mid-capture leaves a file without a valid footer; recovery (§3)
+//! detects this via [`CheckpointReader::open`] and discards the file —
+//! which is exactly the paper's durability story for failures during
+//! checkpointing: the previous checkpoints remain intact because files
+//! are published atomically (tmp + rename, handled by
+//! [`crate::manifest::CheckpointDir`]).
+//!
+//! Tombstones appear only in *partial* checkpoints (a record that existed
+//! in an earlier checkpoint and was deleted before this one's point of
+//! consistency). Within one file, a tombstone precedes any re-insertion of
+//! the same key, so sequential replay (last event wins) is correct.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use calc_common::crc::Crc32;
+use calc_common::types::{CommitSeq, Key, Value};
+
+use crate::throttle::Throttle;
+
+const HEADER_MAGIC: &[u8; 8] = b"CALCCKPT";
+const FOOTER_MAGIC: &[u8; 8] = b"CKPTEND.";
+const VERSION: u32 = 1;
+/// header magic + version + kind + id + watermark.
+const HEADER_LEN: usize = 8 + 4 + 1 + 8 + 8;
+/// footer magic + count + crc.
+const FOOTER_LEN: usize = 8 + 8 + 4;
+
+/// Whether a checkpoint holds complete database state or only records
+/// changed since the previous checkpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckpointKind {
+    /// Complete snapshot.
+    Full,
+    /// Delta since the previous checkpoint (may contain tombstones).
+    Partial,
+}
+
+impl CheckpointKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            CheckpointKind::Full => 0,
+            CheckpointKind::Partial => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> io::Result<Self> {
+        match b {
+            0 => Ok(CheckpointKind::Full),
+            1 => Ok(CheckpointKind::Partial),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad checkpoint kind byte {b}"),
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointKind::Full => f.write_str("full"),
+            CheckpointKind::Partial => f.write_str("part"),
+        }
+    }
+}
+
+/// One record read back from a checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecordEntry {
+    /// A record value.
+    Value(Key, Value),
+    /// A deletion marker (partial checkpoints only).
+    Tombstone(Key),
+}
+
+impl RecordEntry {
+    /// The record's key.
+    pub fn key(&self) -> Key {
+        match self {
+            RecordEntry::Value(k, _) => *k,
+            RecordEntry::Tombstone(k) => *k,
+        }
+    }
+}
+
+/// Streaming checkpoint writer. Writes go through an optional byte
+/// throttle (the simulated disk). Call [`CheckpointWriter::finish`] to
+/// seal the footer; dropping without finishing leaves an invalid file, as
+/// a crash would.
+pub struct CheckpointWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    crc: Crc32,
+    count: u64,
+    bytes: u64,
+    throttle: Arc<Throttle>,
+    /// Unthrottled bytes accumulated since the last throttle charge;
+    /// charged in chunks to keep throttle locking off the per-record path.
+    pending_charge: usize,
+    finished: bool,
+}
+
+const CHARGE_CHUNK: usize = 256 * 1024;
+
+impl CheckpointWriter {
+    /// Creates a writer at `path` with the given identity.
+    pub fn create(
+        path: &Path,
+        kind: CheckpointKind,
+        id: u64,
+        watermark: CommitSeq,
+        throttle: Arc<Throttle>,
+    ) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut w = CheckpointWriter {
+            out: BufWriter::with_capacity(1 << 20, file),
+            path: path.to_path_buf(),
+            crc: Crc32::new(),
+            count: 0,
+            bytes: 0,
+            throttle,
+            pending_charge: 0,
+            finished: false,
+        };
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(HEADER_MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.push(kind.to_byte());
+        header.extend_from_slice(&id.to_le_bytes());
+        header.extend_from_slice(&watermark.0.to_le_bytes());
+        w.write_all_tracked(&header)?;
+        Ok(w)
+    }
+
+    fn write_all_tracked(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.crc.update(buf);
+        self.out.write_all(buf)?;
+        self.bytes += buf.len() as u64;
+        self.pending_charge += buf.len();
+        if self.pending_charge >= CHARGE_CHUNK {
+            self.throttle.consume(self.pending_charge);
+            self.pending_charge = 0;
+        }
+        Ok(())
+    }
+
+    /// Appends a record value.
+    pub fn write_record(&mut self, key: Key, value: &[u8]) -> io::Result<()> {
+        let mut head = [0u8; 13];
+        head[0] = 0;
+        head[1..9].copy_from_slice(&key.0.to_le_bytes());
+        head[9..13].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        self.write_all_tracked(&head)?;
+        self.write_all_tracked(value)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Appends a tombstone.
+    pub fn write_tombstone(&mut self, key: Key) -> io::Result<()> {
+        let mut head = [0u8; 13];
+        head[0] = 1;
+        head[1..9].copy_from_slice(&key.0.to_le_bytes());
+        self.write_all_tracked(&head)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn record_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bytes written so far (pre-footer).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Seals the footer, flushes, and fsyncs. Returns `(records, bytes)`.
+    pub fn finish(mut self) -> io::Result<(u64, u64)> {
+        let crc = self.crc.finish();
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(FOOTER_MAGIC);
+        footer.extend_from_slice(&self.count.to_le_bytes());
+        footer.extend_from_slice(&crc.to_le_bytes());
+        self.out.write_all(&footer)?;
+        self.bytes += footer.len() as u64;
+        self.pending_charge += footer.len();
+        self.throttle.consume(self.pending_charge);
+        self.pending_charge = 0;
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        self.finished = true;
+        Ok((self.count, self.bytes))
+    }
+
+    /// The file path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Validated metadata from a checkpoint file's header + footer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Full or partial.
+    pub kind: CheckpointKind,
+    /// Checkpoint interval id.
+    pub id: u64,
+    /// Virtual-point-of-consistency watermark: commits with `seq <=
+    /// watermark` are reflected, none after. (The watermark is the
+    /// sequence of the RESOLVE transition token, so commits strictly
+    /// before it are `<` it; `<=` holds because tokens consume sequences.)
+    pub watermark: CommitSeq,
+    /// Record + tombstone count.
+    pub records: u64,
+}
+
+/// Streaming, CRC-validating checkpoint reader.
+#[derive(Debug)]
+pub struct CheckpointReader {
+    input: BufReader<File>,
+    header: FileHeader,
+    remaining: u64,
+    crc: Crc32,
+    expected_crc: u32,
+}
+
+impl CheckpointReader {
+    /// Opens and validates a checkpoint file: header magic/version, footer
+    /// magic, and record count. The CRC is verified incrementally; it is
+    /// checked when the last record is consumed (or via
+    /// [`CheckpointReader::read_all`]).
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len < (HEADER_LEN + FOOTER_LEN) as u64 {
+            return Err(invalid("file too short for header + footer"));
+        }
+        // Footer first: it is the commit point of the file.
+        file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        let mut footer = [0u8; FOOTER_LEN];
+        file.read_exact(&mut footer)?;
+        if &footer[..8] != FOOTER_MAGIC {
+            return Err(invalid("missing footer (crash during capture?)"));
+        }
+        let records = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+        let expected_crc = u32::from_le_bytes(footer[16..20].try_into().unwrap());
+
+        file.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header)?;
+        if &header[..8] != HEADER_MAGIC {
+            return Err(invalid("bad header magic"));
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(invalid(&format!("unsupported version {version}")));
+        }
+        let kind = CheckpointKind::from_byte(header[12])?;
+        let id = u64::from_le_bytes(header[13..21].try_into().unwrap());
+        let watermark = CommitSeq(u64::from_le_bytes(header[21..29].try_into().unwrap()));
+
+        let mut crc = Crc32::new();
+        crc.update(&header);
+        Ok(CheckpointReader {
+            input: BufReader::with_capacity(1 << 20, file),
+            header: FileHeader {
+                kind,
+                id,
+                watermark,
+                records,
+            },
+            remaining: records,
+            crc,
+            expected_crc,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> FileHeader {
+        self.header
+    }
+
+    /// Reads the next record; `None` at end. The final call verifies the
+    /// CRC and fails if the body was corrupted.
+    pub fn next_record(&mut self) -> io::Result<Option<RecordEntry>> {
+        if self.remaining == 0 {
+            if self.crc.finish() != self.expected_crc {
+                return Err(invalid("CRC mismatch — corrupted checkpoint body"));
+            }
+            return Ok(None);
+        }
+        let mut head = [0u8; 13];
+        self.input.read_exact(&mut head)?;
+        self.crc.update(&head);
+        let flag = head[0];
+        let key = Key(u64::from_le_bytes(head[1..9].try_into().unwrap()));
+        let len = u32::from_le_bytes(head[9..13].try_into().unwrap()) as usize;
+        self.remaining -= 1;
+        match flag {
+            1 => Ok(Some(RecordEntry::Tombstone(key))),
+            0 => {
+                let mut buf = vec![0u8; len];
+                self.input.read_exact(&mut buf)?;
+                self.crc.update(&buf);
+                Ok(Some(RecordEntry::Value(key, buf.into_boxed_slice())))
+            }
+            other => Err(invalid(&format!("bad record flag {other}"))),
+        }
+    }
+
+    /// Reads every record, verifying the CRC.
+    pub fn read_all(mut self) -> io::Result<Vec<RecordEntry>> {
+        let mut out = Vec::with_capacity(self.header.records as usize);
+        while let Some(e) = self.next_record()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "calc-file-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn unlimited() -> Arc<Throttle> {
+        Arc::new(Throttle::unlimited())
+    }
+
+    #[test]
+    fn roundtrip_values_and_tombstones() {
+        let path = tmpdir().join("rt.calc");
+        let mut w = CheckpointWriter::create(
+            &path,
+            CheckpointKind::Partial,
+            7,
+            CommitSeq(42),
+            unlimited(),
+        )
+        .unwrap();
+        w.write_tombstone(Key(100)).unwrap();
+        w.write_record(Key(1), b"alpha").unwrap();
+        w.write_record(Key(2), b"").unwrap();
+        let (count, bytes) = w.finish().unwrap();
+        assert_eq!(count, 3);
+        assert!(bytes > 0);
+
+        let r = CheckpointReader::open(&path).unwrap();
+        let h = r.header();
+        assert_eq!(h.kind, CheckpointKind::Partial);
+        assert_eq!(h.id, 7);
+        assert_eq!(h.watermark, CommitSeq(42));
+        assert_eq!(h.records, 3);
+        let entries = r.read_all().unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                RecordEntry::Tombstone(Key(100)),
+                RecordEntry::Value(Key(1), b"alpha".to_vec().into_boxed_slice()),
+                RecordEntry::Value(Key(2), Vec::new().into_boxed_slice()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unfinished_file_is_rejected() {
+        let path = tmpdir().join("crash.calc");
+        {
+            let mut w = CheckpointWriter::create(
+                &path,
+                CheckpointKind::Full,
+                1,
+                CommitSeq(1),
+                unlimited(),
+            )
+            .unwrap();
+            w.write_record(Key(1), b"half").unwrap();
+            // Dropped without finish(): simulated crash mid-capture.
+        }
+        let err = CheckpointReader::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn corrupted_body_fails_crc() {
+        let path = tmpdir().join("corrupt.calc");
+        let mut w =
+            CheckpointWriter::create(&path, CheckpointKind::Full, 1, CommitSeq(1), unlimited())
+                .unwrap();
+        for k in 0..100u64 {
+            w.write_record(Key(k), &k.to_le_bytes()).unwrap();
+        }
+        w.finish().unwrap();
+        // Flip a byte in the middle of the body.
+        let mut data = std::fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let r = CheckpointReader::open(&path).unwrap();
+        let err = r.read_all().unwrap_err();
+        assert!(err.to_string().contains("CRC") || err.kind() == io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmpdir().join("trunc.calc");
+        let mut w =
+            CheckpointWriter::create(&path, CheckpointKind::Full, 1, CommitSeq(1), unlimited())
+                .unwrap();
+        w.write_record(Key(1), &[0u8; 100]).unwrap();
+        w.finish().unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 30]).unwrap();
+        assert!(CheckpointReader::open(&path).is_err());
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let path = tmpdir().join("empty.calc");
+        let w = CheckpointWriter::create(
+            &path,
+            CheckpointKind::Partial,
+            3,
+            CommitSeq(9),
+            unlimited(),
+        )
+        .unwrap();
+        w.finish().unwrap();
+        let entries = CheckpointReader::open(&path).unwrap().read_all().unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn large_values_roundtrip() {
+        let path = tmpdir().join("large.calc");
+        let mut w =
+            CheckpointWriter::create(&path, CheckpointKind::Full, 1, CommitSeq(1), unlimited())
+                .unwrap();
+        let big = vec![0xAB; 1 << 20];
+        w.write_record(Key(1), &big).unwrap();
+        w.finish().unwrap();
+        let entries = CheckpointReader::open(&path).unwrap().read_all().unwrap();
+        match &entries[0] {
+            RecordEntry::Value(k, v) => {
+                assert_eq!(*k, Key(1));
+                assert_eq!(v.len(), 1 << 20);
+            }
+            _ => panic!("expected value"),
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Checkpoint directory management.
+//!
+//! Checkpoints live in one directory, named `ckpt-{id:010}-{full|part}.calc`.
+//! A checkpoint is *published* by writing to a dotted temp name and
+//! renaming — atomic on POSIX — so a crash at any instant leaves either no
+//! file or a complete one (and [`crate::file::CheckpointReader`] catches
+//! the rare torn-write case via the footer + CRC).
+//!
+//! Validity is determined by scanning, not by a separate manifest file:
+//! every `.calc` file whose header and footer validate is live. Garbage
+//! collection (after the merger collapses partials, §2.3.1) deletes files
+//! only once their replacement is durably published — "old checkpoints are
+//! discarded only once they have been collapsed."
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use calc_common::types::CommitSeq;
+
+use crate::file::{CheckpointKind, CheckpointReader, CheckpointWriter};
+use crate::throttle::Throttle;
+
+/// Metadata of one published, validated checkpoint file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Checkpoint interval id.
+    pub id: u64,
+    /// Full or partial.
+    pub kind: CheckpointKind,
+    /// Virtual-point-of-consistency watermark.
+    pub watermark: CommitSeq,
+    /// Records + tombstones in the file.
+    pub records: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Path on disk.
+    pub path: PathBuf,
+}
+
+/// A managed checkpoint directory.
+pub struct CheckpointDir {
+    dir: PathBuf,
+    throttle: Arc<Throttle>,
+}
+
+/// An in-flight checkpoint: a [`CheckpointWriter`] plus the publication
+/// rename.
+pub struct PendingCheckpoint {
+    writer: CheckpointWriter,
+    final_path: PathBuf,
+}
+
+impl PendingCheckpoint {
+    /// The underlying record writer.
+    pub fn writer(&mut self) -> &mut CheckpointWriter {
+        &mut self.writer
+    }
+
+    /// Seals and atomically publishes the checkpoint. Returns
+    /// `(records, bytes)`.
+    pub fn publish(self) -> io::Result<(u64, u64)> {
+        let tmp = self.writer.path().to_path_buf();
+        let stats = self.writer.finish()?;
+        std::fs::rename(&tmp, &self.final_path)?;
+        Ok(stats)
+    }
+
+    /// Abandons the checkpoint, removing the temp file.
+    pub fn abandon(self) {
+        let tmp = self.writer.path().to_path_buf();
+        drop(self.writer);
+        let _ = std::fs::remove_file(tmp);
+    }
+}
+
+impl CheckpointDir {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn open(dir: &Path, throttle: Arc<Throttle>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(CheckpointDir {
+            dir: dir.to_path_buf(),
+            throttle,
+        })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The shared disk throttle.
+    pub fn throttle(&self) -> &Arc<Throttle> {
+        &self.throttle
+    }
+
+    fn file_name(id: u64, kind: CheckpointKind) -> String {
+        format!("ckpt-{id:010}-{kind}.calc")
+    }
+
+    /// Starts a new checkpoint of the given identity. The returned handle
+    /// writes to a temp file; nothing is visible until
+    /// [`PendingCheckpoint::publish`].
+    pub fn begin(
+        &self,
+        kind: CheckpointKind,
+        id: u64,
+        watermark: CommitSeq,
+    ) -> io::Result<PendingCheckpoint> {
+        let final_path = self.dir.join(Self::file_name(id, kind));
+        let tmp_path = self.dir.join(format!(".tmp-{}", Self::file_name(id, kind)));
+        let writer =
+            CheckpointWriter::create(&tmp_path, kind, id, watermark, self.throttle.clone())?;
+        Ok(PendingCheckpoint { writer, final_path })
+    }
+
+    /// Scans the directory for valid published checkpoints, ascending by
+    /// `(id, kind)` with Full ordered before Partial at equal id (a merged
+    /// full supersedes the same-id partial).
+    pub fn scan(&self) -> io::Result<Vec<CheckpointMeta>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.starts_with("ckpt-") || !name.ends_with(".calc") {
+                continue;
+            }
+            let path = entry.path();
+            let reader = match CheckpointReader::open(&path) {
+                Ok(r) => r,
+                Err(_) => continue, // crashed mid-capture; ignore
+            };
+            let h = reader.header();
+            out.push(CheckpointMeta {
+                id: h.id,
+                kind: h.kind,
+                watermark: h.watermark,
+                records: h.records,
+                bytes: entry.metadata()?.len(),
+                path,
+            });
+        }
+        out.sort_by_key(|m| (m.id, matches!(m.kind, CheckpointKind::Partial)));
+        Ok(out)
+    }
+
+    /// The recovery chain: the newest valid full checkpoint plus every
+    /// valid partial with a larger id, ascending. `None` if no full
+    /// checkpoint exists.
+    pub fn recovery_chain(&self) -> io::Result<Option<(CheckpointMeta, Vec<CheckpointMeta>)>> {
+        let all = self.scan()?;
+        let Some(full) = all
+            .iter()
+            .filter(|m| m.kind == CheckpointKind::Full)
+            .max_by_key(|m| m.id)
+            .cloned()
+        else {
+            return Ok(None);
+        };
+        let partials = all
+            .into_iter()
+            .filter(|m| m.kind == CheckpointKind::Partial && m.id > full.id)
+            .collect();
+        Ok(Some((full, partials)))
+    }
+
+    /// Deletes checkpoint files that are superseded: everything with
+    /// `id <= through_id` except the given replacement path.
+    pub fn gc_through(&self, through_id: u64, keep: &Path) -> io::Result<usize> {
+        let mut removed = 0;
+        for meta in self.scan()? {
+            if meta.id <= through_id && meta.path != keep {
+                std::fs::remove_file(&meta.path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+impl std::fmt::Debug for CheckpointDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CheckpointDir({})", self.dir.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calc_common::types::Key;
+
+    fn dir(name: &str) -> CheckpointDir {
+        let d = std::env::temp_dir().join(format!(
+            "calc-manifest-{}-{}-{name}",
+            std::process::id(),
+            rand_suffix()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        CheckpointDir::open(&d, Arc::new(Throttle::unlimited())).unwrap()
+    }
+
+    fn rand_suffix() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now().duration_since(UNIX_EPOCH).unwrap().subsec_nanos() as u64
+    }
+
+    fn publish(d: &CheckpointDir, kind: CheckpointKind, id: u64, n: u64) {
+        let mut p = d.begin(kind, id, CommitSeq(id * 100)).unwrap();
+        for k in 0..n {
+            p.writer().write_record(Key(k), b"v").unwrap();
+        }
+        p.publish().unwrap();
+    }
+
+    #[test]
+    fn publish_then_scan() {
+        let d = dir("scan");
+        publish(&d, CheckpointKind::Full, 1, 5);
+        publish(&d, CheckpointKind::Partial, 2, 2);
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].id, 1);
+        assert_eq!(metas[0].kind, CheckpointKind::Full);
+        assert_eq!(metas[0].records, 5);
+        assert_eq!(metas[1].id, 2);
+        assert_eq!(metas[1].watermark, CommitSeq(200));
+    }
+
+    #[test]
+    fn abandoned_and_unpublished_files_invisible() {
+        let d = dir("abandon");
+        let p = d.begin(CheckpointKind::Full, 1, CommitSeq(1)).unwrap();
+        p.abandon();
+        // In-flight (not yet published) writer: temp file exists but scan
+        // ignores it.
+        let mut p2 = d.begin(CheckpointKind::Full, 2, CommitSeq(2)).unwrap();
+        p2.writer().write_record(Key(1), b"x").unwrap();
+        assert!(d.scan().unwrap().is_empty());
+        p2.publish().unwrap();
+        assert_eq!(d.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn crashed_file_is_skipped() {
+        let d = dir("crash");
+        publish(&d, CheckpointKind::Full, 1, 1);
+        // Simulate a crash: a published-looking name with no footer.
+        std::fs::write(d.path().join("ckpt-0000000002-full.calc"), b"CALCCKPTgarbage")
+            .unwrap();
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].id, 1);
+    }
+
+    #[test]
+    fn recovery_chain_picks_latest_full_and_newer_partials() {
+        let d = dir("chain");
+        publish(&d, CheckpointKind::Full, 0, 3);
+        publish(&d, CheckpointKind::Partial, 1, 1);
+        publish(&d, CheckpointKind::Partial, 2, 1);
+        publish(&d, CheckpointKind::Full, 2, 4); // merged full at id 2
+        publish(&d, CheckpointKind::Partial, 3, 1);
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        assert_eq!(full.id, 2);
+        assert_eq!(full.kind, CheckpointKind::Full);
+        let ids: Vec<u64> = partials.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![3]);
+    }
+
+    #[test]
+    fn recovery_chain_none_without_full() {
+        let d = dir("nofull");
+        publish(&d, CheckpointKind::Partial, 1, 1);
+        assert!(d.recovery_chain().unwrap().is_none());
+    }
+
+    #[test]
+    fn gc_removes_superseded_files() {
+        let d = dir("gc");
+        publish(&d, CheckpointKind::Full, 0, 1);
+        publish(&d, CheckpointKind::Partial, 1, 1);
+        publish(&d, CheckpointKind::Partial, 2, 1);
+        publish(&d, CheckpointKind::Full, 2, 2); // replacement
+        let keep = d.path().join("ckpt-0000000002-full.calc");
+        let removed = d.gc_through(2, &keep).unwrap();
+        assert_eq!(removed, 3);
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].path, keep);
+    }
+}

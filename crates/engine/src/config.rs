@@ -1,0 +1,241 @@
+//! Engine configuration and strategy selection.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use calc_baselines::{FuzzyStrategy, IppStrategy, MvccStrategy, NaiveStrategy, ZigzagStrategy};
+use calc_core::calc::CalcStrategy;
+use calc_core::strategy::CheckpointStrategy;
+use calc_storage::dual::StoreConfig;
+use calc_txn::commitlog::CommitLog;
+
+/// Which checkpointing algorithm the engine runs — the six schemes of the
+/// paper's evaluation, full or partial, plus `NoCheckpoint` (the "None"
+/// baseline line in every throughput figure).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum StrategyKind {
+    NoCheckpoint,
+    Calc,
+    PCalc,
+    Naive,
+    PNaive,
+    Fuzzy,
+    PFuzzy,
+    Ipp,
+    PIpp,
+    Zigzag,
+    PZigzag,
+    /// Full multi-versioning (§2.1's design-space alternative; not one of
+    /// the paper's measured baselines — included for the memory ablation).
+    Mvcc,
+}
+
+impl StrategyKind {
+    /// All kinds that actually checkpoint.
+    pub const ALL_CHECKPOINTING: [StrategyKind; 10] = [
+        StrategyKind::Calc,
+        StrategyKind::PCalc,
+        StrategyKind::Naive,
+        StrategyKind::PNaive,
+        StrategyKind::Fuzzy,
+        StrategyKind::PFuzzy,
+        StrategyKind::Ipp,
+        StrategyKind::PIpp,
+        StrategyKind::Zigzag,
+        StrategyKind::PZigzag,
+    ];
+
+    /// The five full-checkpoint schemes compared in Figure 2.
+    pub const FULL_SET: [StrategyKind; 5] = [
+        StrategyKind::Calc,
+        StrategyKind::Ipp,
+        StrategyKind::Fuzzy,
+        StrategyKind::Naive,
+        StrategyKind::Zigzag,
+    ];
+
+    /// The five partial-checkpoint schemes compared in Figure 3.
+    pub const PARTIAL_SET: [StrategyKind; 5] = [
+        StrategyKind::PCalc,
+        StrategyKind::PIpp,
+        StrategyKind::PFuzzy,
+        StrategyKind::PNaive,
+        StrategyKind::PZigzag,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::NoCheckpoint => "None",
+            StrategyKind::Calc => "CALC",
+            StrategyKind::PCalc => "pCALC",
+            StrategyKind::Naive => "Naive",
+            StrategyKind::PNaive => "pNaive",
+            StrategyKind::Fuzzy => "Fuzzy",
+            StrategyKind::PFuzzy => "pFuzzy",
+            StrategyKind::Ipp => "IPP",
+            StrategyKind::PIpp => "pIPP",
+            StrategyKind::Zigzag => "Zigzag",
+            StrategyKind::PZigzag => "pZigzag",
+            StrategyKind::Mvcc => "MVCC",
+        }
+    }
+
+    /// Whether this kind takes partial checkpoints.
+    pub fn is_partial(self) -> bool {
+        matches!(
+            self,
+            StrategyKind::PCalc
+                | StrategyKind::PNaive
+                | StrategyKind::PFuzzy
+                | StrategyKind::PIpp
+                | StrategyKind::PZigzag
+        )
+    }
+
+    /// Parses a name as printed by [`StrategyKind::name`]
+    /// (case-insensitive).
+    pub fn parse(s: &str) -> Option<StrategyKind> {
+        let all = [
+            StrategyKind::NoCheckpoint,
+            StrategyKind::Calc,
+            StrategyKind::PCalc,
+            StrategyKind::Naive,
+            StrategyKind::PNaive,
+            StrategyKind::Fuzzy,
+            StrategyKind::PFuzzy,
+            StrategyKind::Ipp,
+            StrategyKind::PIpp,
+            StrategyKind::Zigzag,
+            StrategyKind::PZigzag,
+            StrategyKind::Mvcc,
+        ];
+        all.into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Builds the strategy. `NoCheckpoint` runs CALC's storage with its
+    /// checkpointer never invoked (zero overhead at rest, the "None"
+    /// baseline).
+    pub fn build(self, store: StoreConfig, log: Arc<CommitLog>) -> Arc<dyn CheckpointStrategy> {
+        match self {
+            StrategyKind::NoCheckpoint | StrategyKind::Calc => {
+                Arc::new(CalcStrategy::full(store, log))
+            }
+            StrategyKind::PCalc => Arc::new(CalcStrategy::partial(store, log)),
+            StrategyKind::Naive => Arc::new(NaiveStrategy::full(store, log)),
+            StrategyKind::PNaive => Arc::new(NaiveStrategy::partial(store, log)),
+            StrategyKind::Fuzzy => Arc::new(FuzzyStrategy::full(store, log)),
+            StrategyKind::PFuzzy => Arc::new(FuzzyStrategy::partial(store, log)),
+            StrategyKind::Ipp => Arc::new(IppStrategy::full(store, log)),
+            StrategyKind::PIpp => Arc::new(IppStrategy::partial(store, log)),
+            StrategyKind::Zigzag => Arc::new(ZigzagStrategy::full(store, log)),
+            StrategyKind::PZigzag => Arc::new(ZigzagStrategy::partial(store, log)),
+            StrategyKind::Mvcc => Arc::new(MvccStrategy::new(store, log)),
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Engine configuration. The defaults match a laptop-scale rendition of
+/// the paper's setup (15 worker threads on the paper's 16-core box scale
+/// down to the host's parallelism).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Checkpointing algorithm.
+    pub strategy: StrategyKind,
+    /// Store sizing.
+    pub store: StoreConfig,
+    /// Worker threads executing transactions.
+    pub workers: usize,
+    /// Submission queue capacity: `Some(n)` gives a bounded queue whose
+    /// backpressure produces closed-loop (peak-throughput) behaviour;
+    /// `None` is unbounded, for open-loop latency experiments where the
+    /// backlog must be allowed to grow during quiesce periods (§5.1.4).
+    pub queue_capacity: Option<usize>,
+    /// Whether the in-memory commit log retains command payloads for
+    /// deterministic replay. Off for throughput experiments.
+    pub retain_command_log: bool,
+    /// Directory for checkpoint files.
+    pub checkpoint_dir: PathBuf,
+    /// Simulated disk bandwidth in bytes/sec (0 = unlimited). The paper's
+    /// disk: ~150 MB/s.
+    pub disk_bytes_per_sec: u64,
+    /// Write a full base checkpoint right after initial load (needed by
+    /// partial strategies so the recovery chain has a full ancestor).
+    pub base_checkpoint: bool,
+    /// Collapse partial checkpoints in a background thread after every N
+    /// partials (`None` disables; Figure 4 sweeps 4/8/16).
+    pub merge_batch: Option<usize>,
+    /// Durable command log (VoltDB-style, §1 of the paper): when set, a
+    /// background thread appends every commit's `(seq, proc, params)` to
+    /// this file with group-commit fsyncs. Transactions are acknowledged
+    /// before the flush (the paper's low-latency choice — a crash can
+    /// lose the unflushed tail, bounded by the group-commit interval);
+    /// recovery replays the log on top of the newest checkpoint.
+    pub command_log_path: Option<PathBuf>,
+}
+
+impl EngineConfig {
+    /// A config for `strategy` with stores sized for `records` of
+    /// `record_size` bytes, checkpointing into `dir`.
+    pub fn new(strategy: StrategyKind, records: usize, record_size: usize, dir: PathBuf) -> Self {
+        EngineConfig {
+            strategy,
+            store: StoreConfig::for_records(records + records / 4 + 1024, record_size),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().saturating_sub(1).max(1))
+                .unwrap_or(4),
+            queue_capacity: Some(4096),
+            retain_command_log: false,
+            checkpoint_dir: dir,
+            disk_bytes_per_sec: 0,
+            base_checkpoint: strategy.is_partial(),
+            merge_batch: None,
+            command_log_path: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for k in StrategyKind::ALL_CHECKPOINTING {
+            assert_eq!(StrategyKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(StrategyKind::parse("pcalc"), Some(StrategyKind::PCalc));
+        assert_eq!(StrategyKind::parse("none"), Some(StrategyKind::NoCheckpoint));
+        assert_eq!(StrategyKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn partial_flags() {
+        assert!(StrategyKind::PCalc.is_partial());
+        assert!(!StrategyKind::Calc.is_partial());
+        for k in StrategyKind::PARTIAL_SET {
+            assert!(k.is_partial());
+        }
+        for k in StrategyKind::FULL_SET {
+            assert!(!k.is_partial());
+        }
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let log = Arc::new(CommitLog::new(false));
+        for k in StrategyKind::ALL_CHECKPOINTING {
+            let s = k.build(StoreConfig::for_records(16, 16), log.clone());
+            assert_eq!(s.name(), k.name(), "strategy name mismatch for {k:?}");
+            assert_eq!(s.partial(), k.is_partial());
+        }
+    }
+}

@@ -1,0 +1,937 @@
+//! The `Database` facade: submission queue, worker pool, admission gate,
+//! checkpoint triggering, and background merging.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use calc_common::types::{CommitSeq, Key, TxnId, Value};
+use calc_core::manifest::CheckpointDir;
+use calc_core::merge::{collapse, MergeStats};
+use calc_core::strategy::{
+    CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec,
+};
+use calc_core::throttle::Throttle;
+use calc_storage::dual::StoreError;
+use calc_recovery::CommandLogWriter;
+use calc_txn::commitlog::{CommitLog, CommitRecord};
+use calc_txn::locks::LockManager;
+use calc_txn::proc::{AbortReason, ProcId, ProcRegistry, TxnOps};
+
+use crate::config::{EngineConfig, StrategyKind};
+use crate::metrics::Metrics;
+
+/// Result of a synchronously executed transaction.
+#[derive(Clone, Debug)]
+pub enum TxnOutcome {
+    /// Committed at the given sequence.
+    Committed(CommitSeq),
+    /// Rolled back.
+    Aborted(AbortReason),
+}
+
+struct Request {
+    proc: ProcId,
+    params: Arc<[u8]>,
+    submitted: Instant,
+    reply: Option<Sender<TxnOutcome>>,
+}
+
+struct Inner {
+    strategy: Arc<dyn CheckpointStrategy>,
+    log: Arc<CommitLog>,
+    locks: LockManager,
+    registry: ProcRegistry,
+    /// Admission gate: every transaction holds read access for its whole
+    /// lifetime (locks, logic, commit hook). `quiesced` takes write
+    /// access — parking_lot's writer preference blocks new readers, so
+    /// this waits out active transactions and then excludes new ones: a
+    /// physical point of consistency.
+    gate: RwLock<()>,
+    dir: CheckpointDir,
+    metrics: Arc<Metrics>,
+    txn_counter: AtomicU64,
+    checkpoint_serial: Mutex<()>,
+    merge_serial: Arc<Mutex<()>>,
+    /// In-flight background merger threads, joined before the database is
+    /// dropped so no merge races a post-run inspection of the checkpoint
+    /// directory.
+    mergers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Durable command-log channel (None when command logging is off).
+    /// Taken (closed) at shutdown so the logger thread drains and syncs.
+    cmdlog_tx: Mutex<Option<Sender<CommitRecord>>>,
+    partials_since_merge: AtomicU64,
+    merge_batch: Option<usize>,
+    kind: StrategyKind,
+}
+
+impl EngineEnv for Inner {
+    fn quiesced(&self, f: &mut dyn FnMut() -> io::Result<()>) -> io::Result<Duration> {
+        let start = Instant::now();
+        let _w = self.gate.write();
+        f()?;
+        Ok(start.elapsed())
+    }
+}
+
+/// An embeddable, checkpointable, main-memory transactional key-value
+/// store — the paper's evaluation system, with the checkpointing strategy
+/// chosen by [`EngineConfig::strategy`].
+pub struct Database {
+    inner: Arc<Inner>,
+    sender: Option<Sender<Request>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    cmdlogger: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Database {
+    /// Opens a database: builds the strategy, spawns the worker pool.
+    /// Populate with [`Database::load_initial`] then call
+    /// [`Database::finalize_load`] before submitting transactions.
+    pub fn open(config: EngineConfig, registry: ProcRegistry) -> io::Result<Self> {
+        let log = Arc::new(CommitLog::new(config.retain_command_log));
+        let strategy = config.strategy.build(config.store.clone(), log.clone());
+        let throttle = if config.disk_bytes_per_sec == 0 {
+            Throttle::unlimited()
+        } else {
+            Throttle::new(config.disk_bytes_per_sec)
+        };
+        let dir = CheckpointDir::open(&config.checkpoint_dir, Arc::new(throttle))?;
+        // Durable command logging: a dedicated thread drains commit
+        // records and group-commits them (append many, fsync once) — the
+        // paper's §1 "logging of transactional input is generally far
+        // lighter weight than full ARIES logging".
+        let (cmdlog_tx, cmdlogger) = match &config.command_log_path {
+            Some(path) => {
+                let mut writer = CommandLogWriter::create(path)?;
+                let (tx, rx) = unbounded::<CommitRecord>();
+                let handle = std::thread::Builder::new()
+                    .name("calc-cmdlog".into())
+                    .spawn(move || {
+                        let mut pending = 0u32;
+                        loop {
+                            match rx.recv_timeout(Duration::from_millis(10)) {
+                                Ok(rec) => {
+                                    if writer.append(&rec).is_err() {
+                                        return;
+                                    }
+                                    pending += 1;
+                                    if pending >= 256 {
+                                        let _ = writer.sync();
+                                        pending = 0;
+                                    }
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                    if pending > 0 {
+                                        let _ = writer.sync();
+                                        pending = 0;
+                                    }
+                                }
+                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                                    let _ = writer.sync();
+                                    return;
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn command logger");
+                (Some(tx), Some(handle))
+            }
+            None => (None, None),
+        };
+        let inner = Arc::new(Inner {
+            strategy,
+            log,
+            locks: LockManager::new(1024),
+            registry,
+            gate: RwLock::new(()),
+            dir,
+            metrics: Arc::new(Metrics::new()),
+            txn_counter: AtomicU64::new(1),
+            checkpoint_serial: Mutex::new(()),
+            merge_serial: Arc::new(Mutex::new(())),
+            mergers: Mutex::new(Vec::new()),
+            cmdlog_tx: Mutex::new(cmdlog_tx),
+            partials_since_merge: AtomicU64::new(0),
+            merge_batch: config.merge_batch,
+            kind: config.strategy,
+        });
+
+        let (tx, rx) = match config.queue_capacity {
+            Some(n) => bounded::<Request>(n),
+            None => unbounded::<Request>(),
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = inner.clone();
+                let rx: Receiver<Request> = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("calc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner, &rx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(Database {
+            inner,
+            sender: Some(tx),
+            workers,
+            cmdlogger,
+        })
+    }
+
+    /// Bulk-loads a record (before any transactions run).
+    pub fn load_initial(&self, key: Key, value: &[u8]) -> Result<(), StoreError> {
+        self.inner.strategy.load_initial(key, value)
+    }
+
+    /// Finishes initial load: writes the base full checkpoint when the
+    /// configuration asks for one.
+    pub fn finalize_load(&self, base_checkpoint: bool) -> io::Result<Option<CheckpointStats>> {
+        if base_checkpoint {
+            Ok(Some(self.inner.strategy.write_base_checkpoint(&self.inner.dir)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Submits a transaction fire-and-forget. Blocks when the bounded
+    /// queue is full (closed-loop backpressure).
+    pub fn submit(&self, proc: ProcId, params: Arc<[u8]>) {
+        self.sender
+            .as_ref()
+            .expect("database not shut down")
+            .send(Request {
+                proc,
+                params,
+                submitted: Instant::now(),
+                reply: None,
+            })
+            .expect("workers alive");
+    }
+
+    /// Executes a transaction synchronously, returning its outcome.
+    pub fn execute(&self, proc: ProcId, params: Arc<[u8]>) -> TxnOutcome {
+        let (tx, rx) = bounded(1);
+        self.sender
+            .as_ref()
+            .expect("database not shut down")
+            .send(Request {
+                proc,
+                params,
+                submitted: Instant::now(),
+                reply: Some(tx),
+            })
+            .expect("workers alive");
+        rx.recv().expect("worker replies")
+    }
+
+    /// Direct (non-transactional) point read.
+    pub fn get(&self, key: Key) -> Option<Value> {
+        self.inner.strategy.get(key)
+    }
+
+    /// Live record count.
+    pub fn record_count(&self) -> usize {
+        self.inner.strategy.record_count()
+    }
+
+    /// Runs one checkpoint cycle now (blocking until capture completes).
+    /// With `merge_batch` configured, every Nth partial checkpoint also
+    /// kicks off a background collapse.
+    pub fn checkpoint_now(&self) -> io::Result<CheckpointStats> {
+        let _serial = self.inner.checkpoint_serial.lock();
+        let stats = self
+            .inner
+            .strategy
+            .checkpoint(self.inner.as_ref(), &self.inner.dir)?;
+        if self.inner.strategy.partial() {
+            let n = self.inner.partials_since_merge.fetch_add(1, Ordering::AcqRel) + 1;
+            if let Some(batch) = self.inner.merge_batch {
+                if n.is_multiple_of(batch as u64) {
+                    // §2.3.1: "a low-priority thread to take advantage of
+                    // moments of sub-peak load".
+                    let dir_path = self.inner.dir.path().to_path_buf();
+                    let throttle = self.inner.dir.throttle().clone();
+                    let serial = self.inner.merge_serial.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("calc-merger".into())
+                        .spawn(move || {
+                            let _g = serial.lock();
+                            if let Ok(dir) = CheckpointDir::open(&dir_path, throttle) {
+                                let _ = collapse(&dir);
+                            }
+                        })
+                        .expect("spawn merger");
+                    self.inner.mergers.lock().push(handle);
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Synchronously collapses partial checkpoints (blocks until done).
+    pub fn collapse_partials(&self) -> io::Result<Option<MergeStats>> {
+        let _g = self.inner.merge_serial.lock();
+        collapse(&self.inner.dir)
+    }
+
+    /// Engine metrics.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.inner.metrics
+    }
+
+    /// The active checkpointing strategy.
+    pub fn strategy(&self) -> &Arc<dyn CheckpointStrategy> {
+        &self.inner.strategy
+    }
+
+    /// The commit/command log.
+    pub fn commit_log(&self) -> &Arc<CommitLog> {
+        &self.inner.log
+    }
+
+    /// The checkpoint directory.
+    pub fn checkpoint_dir(&self) -> &CheckpointDir {
+        &self.inner.dir
+    }
+
+    /// The configured strategy kind.
+    pub fn strategy_kind(&self) -> StrategyKind {
+        self.inner.kind
+    }
+
+    /// Recovers this (freshly opened, unused) database from its checkpoint
+    /// directory plus a command log: loads the newest recovery chain,
+    /// deterministically replays `commands` past the watermark, then
+    /// resumes the commit-sequence and checkpoint-id spaces so nothing
+    /// post-recovery collides with pre-crash artifacts. The procedures in
+    /// the registry must match the pre-crash ones (determinism contract).
+    pub fn recover(
+        &self,
+        commands: &[CommitRecord],
+    ) -> Result<calc_recovery::RecoveryOutcome, calc_recovery::RecoveryError> {
+        let outcome = calc_recovery::recover(
+            &self.inner.dir,
+            self.inner.strategy.as_ref(),
+            &self.inner.registry,
+            commands,
+        )?;
+        let max_seq = commands
+            .iter()
+            .map(|c| c.seq)
+            .max()
+            .unwrap_or(outcome.watermark)
+            .max(outcome.watermark);
+        let max_id = self
+            .inner
+            .dir
+            .scan()
+            .map_err(calc_recovery::RecoveryError::Io)?
+            .iter()
+            .map(|m| m.id)
+            .max()
+            .unwrap_or(0);
+        self.inner.log.advance_to(max_seq, max_id + 1);
+        self.inner.strategy.resume_checkpoint_ids(max_id + 1);
+        Ok(outcome)
+    }
+
+    /// Waits for any in-flight background merges to finish. Call before
+    /// inspecting the checkpoint directory externally.
+    pub fn join_mergers(&self) {
+        for h in self.inner.mergers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Waits for the submission queue to drain and workers to go idle,
+    /// then stops them. Consumes the database.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.join_mergers();
+        // Close the command-log channel and wait for the final group
+        // commit, so the on-disk log is complete when drop returns.
+        drop(self.inner.cmdlog_tx.lock().take());
+        if let Some(h) = self.cmdlogger.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Forces an fsync of the durable command log by cycling a group
+    /// commit: waits until every record sent so far is durable. No-op
+    /// without command logging.
+    pub fn sync_command_log(&self) {
+        if self.inner.cmdlog_tx.lock().is_some() {
+            // The logger syncs on a 10 ms idle timeout; wait two periods.
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Database({}, records={}, committed={})",
+            self.inner.strategy.name(),
+            self.record_count(),
+            self.inner.metrics.committed()
+        )
+    }
+}
+
+fn worker_loop(inner: &Inner, rx: &Receiver<Request>) {
+    while let Ok(req) = rx.recv() {
+        // Admission: held for the entire transaction, including the commit
+        // hook, so a quiesce observes no in-flight commit work.
+        let _admission = inner.gate.read();
+        let outcome = execute_one(inner, &req);
+        match &outcome {
+            TxnOutcome::Committed(_) => inner.metrics.record_commit(req.submitted.elapsed()),
+            TxnOutcome::Aborted(_) => inner.metrics.record_abort(),
+        }
+        if let Some(reply) = req.reply {
+            let _ = reply.send(outcome);
+        }
+    }
+}
+
+fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
+    let Some(proc) = inner.registry.get(req.proc) else {
+        return TxnOutcome::Aborted(AbortReason::BadParams(format!(
+            "unknown procedure {:?}",
+            req.proc
+        )));
+    };
+    let lock_request = match proc.locks(&req.params) {
+        Ok(r) => r,
+        Err(e) => return TxnOutcome::Aborted(e),
+    };
+    let lockset = lock_request.to_lock_set();
+    let guard = inner.locks.acquire(&lockset);
+
+    let mut token = inner.strategy.txn_begin();
+    let mut ops = ExecOps {
+        strategy: inner.strategy.as_ref(),
+        token: &mut token,
+        undo: Vec::new(),
+        failed: None,
+    };
+    let result = proc.run(&req.params, &mut ops);
+    let ExecOps {
+        mut undo, failed, ..
+    } = ops;
+
+    let outcome = match (result, failed) {
+        (Ok(()), None) => {
+            let txn_id = TxnId(inner.txn_counter.fetch_add(1, Ordering::Relaxed));
+            let (seq, stamp) = inner
+                .log
+                .append_commit(txn_id, req.proc, req.params.clone());
+            inner.strategy.on_commit(&mut token, seq, stamp);
+            if let Some(tx) = inner.cmdlog_tx.lock().as_ref() {
+                let _ = tx.send(CommitRecord {
+                    seq,
+                    txn: txn_id,
+                    proc: req.proc,
+                    params: req.params.clone(),
+                });
+            }
+            TxnOutcome::Committed(seq)
+        }
+        (Err(e), _) | (Ok(()), Some(e)) => {
+            undo.reverse();
+            inner.strategy.on_abort(&mut token, &undo);
+            TxnOutcome::Aborted(e)
+        }
+    };
+    drop(guard);
+    inner.strategy.txn_end(token);
+    outcome
+}
+
+/// Bridges procedure logic to the strategy's apply hooks, recording undo
+/// images for rollback.
+struct ExecOps<'a> {
+    strategy: &'a dyn CheckpointStrategy,
+    token: &'a mut TxnToken,
+    undo: Vec<UndoRec>,
+    failed: Option<AbortReason>,
+}
+
+impl TxnOps for ExecOps<'_> {
+    fn get(&mut self, key: Key) -> Option<Value> {
+        self.strategy.get(key)
+    }
+
+    fn put(&mut self, key: Key, value: &[u8]) {
+        match self.strategy.apply_write(self.token, key, value) {
+            Ok(Some(old)) => self.undo.push(UndoRec {
+                key,
+                img: UndoImage::Restore(old),
+            }),
+            Ok(None) => self.undo.push(UndoRec {
+                key,
+                img: UndoImage::Remove,
+            }),
+            Err(e) => {
+                self.failed
+                    .get_or_insert_with(|| AbortReason::Logic(format!("put failed: {e}")));
+            }
+        }
+    }
+
+    fn insert(&mut self, key: Key, value: &[u8]) -> bool {
+        match self.strategy.apply_insert(self.token, key, value) {
+            Ok(true) => {
+                self.undo.push(UndoRec {
+                    key,
+                    img: UndoImage::Remove,
+                });
+                true
+            }
+            Ok(false) => false,
+            Err(e) => {
+                self.failed
+                    .get_or_insert_with(|| AbortReason::Logic(format!("insert failed: {e}")));
+                false
+            }
+        }
+    }
+
+    fn delete(&mut self, key: Key) -> bool {
+        match self.strategy.apply_delete(self.token, key) {
+            Ok(Some(old)) => {
+                self.undo.push(UndoRec {
+                    key,
+                    img: UndoImage::Reinsert(old),
+                });
+                true
+            }
+            Ok(None) | Err(StoreError::KeyNotFound(_)) => false,
+            Err(e) => {
+                self.failed
+                    .get_or_insert_with(|| AbortReason::Logic(format!("delete failed: {e}")));
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calc_txn::proc::{params, LockRequest, Procedure};
+
+    /// Adds `delta` to a u64 counter record; aborts if the result would
+    /// exceed `limit`.
+    struct AddProc;
+    impl Procedure for AddProc {
+        fn id(&self) -> ProcId {
+            ProcId(1)
+        }
+        fn name(&self) -> &'static str {
+            "add"
+        }
+        fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+            let mut r = params::Reader::new(p);
+            Ok(LockRequest {
+                reads: vec![],
+                writes: vec![Key(r.u64()?)],
+            })
+        }
+        fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+            let mut r = params::Reader::new(p);
+            let key = Key(r.u64()?);
+            let delta = r.u64()?;
+            let limit = r.u64()?;
+            let current = ops
+                .get(key)
+                .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
+                .unwrap_or(0);
+            let next = current + delta;
+            // First write, THEN abort-check: exercises rollback.
+            if ops.get(key).is_some() {
+                ops.put(key, &next.to_le_bytes());
+            } else {
+                ops.insert(key, &next.to_le_bytes());
+            }
+            if next > limit {
+                return Err(AbortReason::Logic(format!("{next} > {limit}")));
+            }
+            Ok(())
+        }
+    }
+
+    fn db(kind: StrategyKind, name: &str) -> Database {
+        let dir = std::env::temp_dir().join(format!(
+            "calc-engine-{}-{}-{name}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(AddProc));
+        let mut config = EngineConfig::new(kind, 1024, 16, dir);
+        config.workers = 4;
+        config.retain_command_log = true;
+        Database::open(config, registry).unwrap()
+    }
+
+    fn add_params(key: u64, delta: u64, limit: u64) -> Arc<[u8]> {
+        params::Writer::new().u64(key).u64(delta).u64(limit).finish()
+    }
+
+    #[test]
+    fn execute_commits_and_reads_back() {
+        let db = db(StrategyKind::Calc, "exec");
+        let out = db.execute(ProcId(1), add_params(7, 5, 100));
+        assert!(matches!(out, TxnOutcome::Committed(_)));
+        assert_eq!(db.get(Key(7)).unwrap(), 5u64.to_le_bytes().into());
+        let out = db.execute(ProcId(1), add_params(7, 10, 100));
+        assert!(matches!(out, TxnOutcome::Committed(_)));
+        assert_eq!(db.get(Key(7)).unwrap(), 15u64.to_le_bytes().into());
+        assert_eq!(db.metrics().committed(), 2);
+    }
+
+    #[test]
+    fn aborted_transaction_rolls_back() {
+        let db = db(StrategyKind::Calc, "abort");
+        db.execute(ProcId(1), add_params(1, 50, 100));
+        // 50 + 60 = 110 > 100 → abort; value must stay 50.
+        let out = db.execute(ProcId(1), add_params(1, 60, 100));
+        assert!(matches!(out, TxnOutcome::Aborted(AbortReason::Logic(_))));
+        assert_eq!(db.get(Key(1)).unwrap(), 50u64.to_le_bytes().into());
+        assert_eq!(db.metrics().aborted(), 1);
+        // Aborted insert leaves no record.
+        let out = db.execute(ProcId(1), add_params(2, 999, 100));
+        assert!(matches!(out, TxnOutcome::Aborted(_)));
+        assert!(db.get(Key(2)).is_none());
+    }
+
+    #[test]
+    fn unknown_procedure_aborts() {
+        let db = db(StrategyKind::Calc, "unknown");
+        let out = db.execute(ProcId(99), add_params(1, 1, 10));
+        assert!(matches!(out, TxnOutcome::Aborted(AbortReason::BadParams(_))));
+    }
+
+    #[test]
+    fn concurrent_submissions_all_commit() {
+        let db = Arc::new(db(StrategyKind::Calc, "concurrent"));
+        for i in 0..1000u64 {
+            db.submit(ProcId(1), add_params(i % 10, 1, u64::MAX));
+        }
+        // Synchronous marker per key ensures the queue drained.
+        for k in 0..10u64 {
+            db.execute(ProcId(1), add_params(k, 0, u64::MAX));
+        }
+        assert_eq!(db.metrics().committed(), 1010);
+        let total: u64 = (0..10u64)
+            .map(|k| u64::from_le_bytes(db.get(Key(k)).unwrap()[..8].try_into().unwrap()))
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn checkpoint_under_load_every_strategy() {
+        for kind in StrategyKind::ALL_CHECKPOINTING {
+            let db = Arc::new(db(kind, &format!("underload-{}", kind.name())));
+            for k in 0..100u64 {
+                db.load_initial(Key(k), &0u64.to_le_bytes()).unwrap();
+            }
+            db.finalize_load(kind.is_partial()).unwrap();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let feeder = {
+                let db = db.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        db.submit(ProcId(1), add_params(i % 100, 1, u64::MAX));
+                        i += 1;
+                    }
+                })
+            };
+            std::thread::sleep(Duration::from_millis(20));
+            let stats = db.checkpoint_now().unwrap_or_else(|e| {
+                panic!("checkpoint failed for {}: {e}", kind.name())
+            });
+            assert!(stats.records > 0 || kind.is_partial());
+            stop.store(true, Ordering::Relaxed);
+            feeder.join().unwrap();
+            // Checkpoint file exists and validates.
+            let metas = db.checkpoint_dir().scan().unwrap();
+            assert!(!metas.is_empty(), "{}: no checkpoint published", kind.name());
+        }
+    }
+
+    #[test]
+    fn merge_batch_triggers_background_collapse() {
+        let dir = std::env::temp_dir().join(format!(
+            "calc-engine-{}-mergebatch",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(AddProc));
+        let mut config = EngineConfig::new(StrategyKind::PCalc, 1024, 16, dir);
+        config.workers = 2;
+        config.merge_batch = Some(2);
+        let db = Database::open(config, registry).unwrap();
+        for k in 0..50u64 {
+            db.load_initial(Key(k), &0u64.to_le_bytes()).unwrap();
+        }
+        db.finalize_load(true).unwrap();
+        for round in 0..4 {
+            db.execute(ProcId(1), add_params(round, 1, u64::MAX));
+            db.checkpoint_now().unwrap();
+        }
+        // Give the background merger a moment, then verify the chain got
+        // shorter than 4 partials.
+        std::thread::sleep(Duration::from_millis(300));
+        let (full, partials) = db.checkpoint_dir().recovery_chain().unwrap().unwrap();
+        assert!(
+            full.id > 0,
+            "expected a merged full checkpoint, got base full only"
+        );
+        assert!(partials.len() < 4, "partials not collapsed: {partials:?}");
+    }
+
+    #[test]
+    fn end_to_end_recovery_via_engine() {
+        let db = db(StrategyKind::Calc, "e2e-recovery");
+        for k in 0..20u64 {
+            db.load_initial(Key(k), &0u64.to_le_bytes()).unwrap();
+        }
+        db.finalize_load(false).unwrap();
+        for k in 0..20u64 {
+            db.execute(ProcId(1), add_params(k, k, u64::MAX));
+        }
+        db.checkpoint_now().unwrap();
+        for k in 0..5u64 {
+            db.execute(ProcId(1), add_params(k, 100, u64::MAX));
+        }
+
+        // "Crash": recover into a fresh strategy.
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(AddProc));
+        let recovered = calc_core::calc::CalcStrategy::full(
+            calc_storage::dual::StoreConfig::for_records(1024, 16),
+            Arc::new(CommitLog::new(false)),
+        );
+        let commands = db.commit_log().commits_after(CommitSeq::ZERO);
+        let outcome =
+            calc_recovery::recover(db.checkpoint_dir(), &recovered, &registry, &commands)
+                .unwrap();
+        assert_eq!(outcome.replayed, 5);
+        for k in 0..20u64 {
+            assert_eq!(
+                recovered.get(Key(k)),
+                db.get(Key(k)),
+                "key {k} diverged after recovery"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod cmdlog_tests {
+    use super::*;
+    use crate::config::{EngineConfig, StrategyKind};
+    use calc_txn::proc::{params, AbortReason, LockRequest, Procedure, TxnOps};
+
+    struct SetProc;
+    impl Procedure for SetProc {
+        fn id(&self) -> ProcId {
+            ProcId(1)
+        }
+        fn name(&self) -> &'static str {
+            "set"
+        }
+        fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+            let mut r = params::Reader::new(p);
+            Ok(LockRequest {
+                reads: vec![],
+                writes: vec![Key(r.u64()?)],
+            })
+        }
+        fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+            let mut r = params::Reader::new(p);
+            let key = Key(r.u64()?);
+            let v = r.u64()?.to_le_bytes();
+            if ops.get(key).is_some() {
+                ops.put(key, &v);
+            } else {
+                ops.insert(key, &v);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn durable_command_log_collects_all_commits_group_committed() {
+        let base = std::env::temp_dir().join(format!(
+            "calc-cmdlog-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        std::fs::create_dir_all(&base).unwrap();
+        let log_path = base.join("commands.log");
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(SetProc));
+        let mut config = EngineConfig::new(StrategyKind::Calc, 1024, 16, base.join("ckpts"));
+        config.command_log_path = Some(log_path.clone());
+        config.workers = 2;
+        let db = Database::open(config, registry).unwrap();
+        for i in 0..300u64 {
+            db.submit(ProcId(1), params::Writer::new().u64(i % 50).u64(i).finish());
+        }
+        // Aborted transactions must NOT reach the durable log.
+        let out = db.execute(ProcId(99), Arc::from(&b""[..]));
+        assert!(matches!(out, TxnOutcome::Aborted(_)));
+        db.shutdown(); // closes the channel, drains, final fsync
+
+        let records = calc_recovery::CommandLogReader::open(&log_path)
+            .unwrap()
+            .read_all()
+            .unwrap();
+        assert_eq!(records.len(), 300, "every commit durably logged");
+        // Records are in commit order.
+        for pair in records.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod recover_tests {
+    use super::*;
+    use crate::config::{EngineConfig, StrategyKind};
+    use calc_txn::proc::{params, AbortReason, LockRequest, Procedure, TxnOps};
+
+    struct SetProc;
+    impl Procedure for SetProc {
+        fn id(&self) -> ProcId {
+            ProcId(1)
+        }
+        fn name(&self) -> &'static str {
+            "set"
+        }
+        fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+            let mut r = params::Reader::new(p);
+            Ok(LockRequest {
+                reads: vec![],
+                writes: vec![Key(r.u64()?)],
+            })
+        }
+        fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+            let mut r = params::Reader::new(p);
+            let key = Key(r.u64()?);
+            let v = r.u64()?.to_le_bytes();
+            if ops.get(key).is_some() {
+                ops.put(key, &v);
+            } else {
+                ops.insert(key, &v);
+            }
+            Ok(())
+        }
+    }
+
+    fn set(k: u64, v: u64) -> Arc<[u8]> {
+        params::Writer::new().u64(k).u64(v).finish()
+    }
+
+    fn registry() -> ProcRegistry {
+        let mut r = ProcRegistry::new();
+        r.register(Arc::new(SetProc));
+        r
+    }
+
+    #[test]
+    fn database_recover_resumes_ids_and_sequences() {
+        for kind in [StrategyKind::PCalc, StrategyKind::PNaive] {
+            let dir = std::env::temp_dir().join(format!(
+                "calc-recover-resume-{}-{}",
+                std::process::id(),
+                kind.name()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            // Pre-crash lifetime: base + two partial checkpoints + tail.
+            let mut config = EngineConfig::new(kind, 2048, 16, dir.clone());
+            config.retain_command_log = true;
+            let db = Database::open(config, registry()).unwrap();
+            for k in 0..50u64 {
+                db.load_initial(Key(k), &0u64.to_le_bytes()).unwrap();
+            }
+            db.finalize_load(true).unwrap();
+            for round in 1..=2u64 {
+                for k in 0..20u64 {
+                    db.execute(ProcId(1), set(k, round));
+                }
+                db.checkpoint_now().unwrap();
+            }
+            for k in 0..5u64 {
+                db.execute(ProcId(1), set(k, 99));
+            }
+            let commands = db.commit_log().commits_after(CommitSeq::ZERO);
+            let expected: Vec<_> = (0..50u64).map(|k| db.get(Key(k))).collect();
+            let old_ids: std::collections::BTreeSet<u64> =
+                db.checkpoint_dir().scan().unwrap().iter().map(|m| m.id).collect();
+            drop(db);
+
+            // Crash + recover into a fresh engine over the same directory.
+            let mut config = EngineConfig::new(kind, 2048, 16, dir);
+            config.retain_command_log = true;
+            let db = Database::open(config, registry()).unwrap();
+            let outcome = db.recover(&commands).unwrap();
+            assert_eq!(outcome.replayed, 5, "{}", kind.name());
+            for (k, exp) in expected.iter().enumerate() {
+                assert_eq!(db.get(Key(k as u64)), *exp, "{}: key {k}", kind.name());
+            }
+
+            // Post-recovery activity and a new checkpoint: its id must not
+            // collide with (overwrite) any pre-crash file, and new commit
+            // sequences continue past the old ones.
+            let max_old_seq = commands.iter().map(|c| c.seq).max().unwrap();
+            let TxnOutcome::Committed(new_seq) = db.execute(ProcId(1), set(1, 123)) else {
+                panic!("commit failed");
+            };
+            assert!(new_seq > max_old_seq, "{}: sequence went backwards", kind.name());
+            let stats = db.checkpoint_now().unwrap();
+            assert!(
+                !old_ids.contains(&stats.id),
+                "{}: checkpoint id {} collides with pre-crash files",
+                kind.name(),
+                stats.id
+            );
+            // And the new chain recovers to the latest state.
+            let metas = db.checkpoint_dir().scan().unwrap();
+            assert!(metas.iter().any(|m| m.id == stats.id));
+        }
+    }
+}

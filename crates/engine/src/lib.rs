@@ -1,0 +1,28 @@
+//! Execution engine: the paper's evaluation system (§4).
+//!
+//! "We implemented a memory-resident key-value store with full
+//! transactional support. Transactions ... are executed by a pool of
+//! worker threads, using a pessimistic concurrency control protocol to
+//! ensure serializability [and] a deadlock-free variant of strict
+//! two-phase locking."
+//!
+//! * [`config`] — [`config::EngineConfig`] and [`config::StrategyKind`]
+//!   (which of the paper's six algorithms to run, full or partial).
+//! * [`db`] — the [`db::Database`] facade: submission queue, worker pool,
+//!   admission gate (the quiesce mechanism baselines need for physical
+//!   points of consistency), checkpoint triggering, and background
+//!   merging of partial checkpoints.
+//! * [`metrics`] — commit/abort counters, a submission-to-commit latency
+//!   histogram (queueing included, as Figure 5 requires), and the
+//!   [`metrics::Sampler`] that records throughput/memory timelines for
+//!   the figures.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod db;
+pub mod metrics;
+
+pub use config::{EngineConfig, StrategyKind};
+pub use db::{Database, TxnOutcome};
+pub use metrics::{Metrics, Sampler, TimelinePoint};

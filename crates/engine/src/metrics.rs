@@ -1,0 +1,208 @@
+//! Engine metrics: counters, latency histogram, and timeline sampling.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use calc_common::hist::Histogram;
+use calc_core::strategy::CheckpointStrategy;
+
+/// Shared engine counters. Latency is measured from *submission* to
+/// commit, so queueing during quiesce periods shows up — exactly what
+/// Figure 5's CDFs require.
+pub struct Metrics {
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    /// Submission-to-commit latency in nanoseconds.
+    pub latency: Histogram,
+    started: Instant,
+}
+
+impl Metrics {
+    /// Fresh metrics anchored at now.
+    pub fn new() -> Self {
+        Metrics {
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            latency: Histogram::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records a committed transaction and its latency.
+    #[inline]
+    pub fn record_commit(&self, latency: Duration) {
+        self.committed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency.as_nanos() as u64);
+    }
+
+    /// Records an aborted transaction.
+    #[inline]
+    pub fn record_abort(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Committed count.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Aborted count.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Time since metrics creation.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Metrics(committed={}, aborted={}, {:?})",
+            self.committed(),
+            self.aborted(),
+            self.latency
+        )
+    }
+}
+
+/// One sampled point of the throughput/memory timeline.
+#[derive(Clone, Copy, Debug)]
+pub struct TimelinePoint {
+    /// Seconds since sampling started.
+    pub t: f64,
+    /// Commits during this sample interval.
+    pub commits: u64,
+    /// Instantaneous throughput (txns/sec) over the interval.
+    pub tps: f64,
+    /// Total record copies in memory (live + extra) — Figure 6's y-axis.
+    pub mem_copies: usize,
+    /// Total record bytes in memory.
+    pub mem_bytes: usize,
+}
+
+/// Background sampler recording a throughput + memory timeline at a fixed
+/// interval — the data series behind Figures 2(a,b), 3(a,b), 4(a), 6 and
+/// 7(a).
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<Vec<TimelinePoint>>>,
+}
+
+impl Sampler {
+    /// Starts sampling `metrics` (and the strategy's memory stats) every
+    /// `interval`.
+    pub fn start(
+        metrics: Arc<Metrics>,
+        strategy: Arc<dyn CheckpointStrategy>,
+        interval: Duration,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("calc-sampler".into())
+            .spawn(move || {
+                let mut points = Vec::new();
+                let start = Instant::now();
+                let mut last_commits = metrics.committed();
+                let mut next = start + interval;
+                while !stop2.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep((next - now).min(Duration::from_millis(5)));
+                        continue;
+                    }
+                    let commits_now = metrics.committed();
+                    let delta = commits_now - last_commits;
+                    last_commits = commits_now;
+                    let mem = strategy.memory();
+                    let t = now.duration_since(start).as_secs_f64();
+                    points.push(TimelinePoint {
+                        t,
+                        commits: delta,
+                        tps: delta as f64 / interval.as_secs_f64(),
+                        mem_copies: mem.total_copies(),
+                        mem_bytes: mem.total_bytes(),
+                    });
+                    next += interval;
+                }
+                points
+            })
+            .expect("spawn sampler");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops sampling and returns the timeline.
+    pub fn finish(mut self) -> Vec<TimelinePoint> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("finish called once")
+            .join()
+            .expect("sampler thread panicked")
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_latency() {
+        let m = Metrics::new();
+        m.record_commit(Duration::from_micros(100));
+        m.record_commit(Duration::from_micros(300));
+        m.record_abort();
+        assert_eq!(m.committed(), 2);
+        assert_eq!(m.aborted(), 1);
+        assert_eq!(m.latency.count(), 2);
+        assert!(m.latency.max() >= 300_000);
+    }
+
+    #[test]
+    fn sampler_produces_points() {
+        use calc_core::calc::CalcStrategy;
+        use calc_storage::dual::StoreConfig;
+        use calc_txn::commitlog::CommitLog;
+
+        let metrics = Arc::new(Metrics::new());
+        let strategy: Arc<dyn CheckpointStrategy> = Arc::new(CalcStrategy::full(
+            StoreConfig::for_records(16, 16),
+            Arc::new(CommitLog::new(false)),
+        ));
+        strategy.load_initial(calc_common::types::Key(1), b"x").unwrap();
+        let sampler = Sampler::start(metrics.clone(), strategy, Duration::from_millis(10));
+        for _ in 0..50 {
+            metrics.record_commit(Duration::from_micros(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let points = sampler.finish();
+        assert!(points.len() >= 3, "got {} points", points.len());
+        let total: u64 = points.iter().map(|p| p.commits).sum();
+        assert!(total <= 50);
+        assert!(total >= 20, "sampled too few commits: {total}");
+        assert!(points.iter().all(|p| p.mem_copies == 1));
+    }
+}

@@ -1,0 +1,481 @@
+//! Checkpoint loading and deterministic command-log replay.
+
+use std::time::{Duration, Instant};
+
+use calc_common::types::{CommitSeq, Key, Value};
+use calc_core::manifest::CheckpointDir;
+use calc_core::merge::materialize_chain;
+use calc_core::strategy::CheckpointStrategy;
+use calc_txn::commitlog::CommitRecord;
+use calc_txn::proc::{ProcRegistry, TxnOps};
+
+/// Why recovery failed.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// No valid full checkpoint exists in the directory.
+    NoFullCheckpoint,
+    /// The strategy's checkpoints are not transaction-consistent (Fuzzy):
+    /// without a physical redo log they cannot be recovered into a
+    /// consistent state — the paper's core argument (§2.1).
+    NotTransactionConsistent(&'static str),
+    /// A replayed procedure id is not registered.
+    UnknownProcedure(u16),
+    /// A replayed procedure aborted — impossible under determinism unless
+    /// the log or registry is wrong.
+    ReplayDiverged(String),
+    /// I/O error reading checkpoints.
+    Io(std::io::Error),
+    /// Store error while loading.
+    Store(calc_storage::dual::StoreError),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::NoFullCheckpoint => write!(f, "no valid full checkpoint found"),
+            RecoveryError::NotTransactionConsistent(name) => write!(
+                f,
+                "{name} checkpoints are not transaction-consistent and cannot be \
+                 recovered without a database log"
+            ),
+            RecoveryError::UnknownProcedure(id) => write!(f, "unknown procedure id {id}"),
+            RecoveryError::ReplayDiverged(m) => write!(f, "replay diverged: {m}"),
+            RecoveryError::Io(e) => write!(f, "io error: {e}"),
+            RecoveryError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+impl From<calc_storage::dual::StoreError> for RecoveryError {
+    fn from(e: calc_storage::dual::StoreError) -> Self {
+        RecoveryError::Store(e)
+    }
+}
+
+/// What recovery accomplished.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// Records loaded from checkpoints.
+    pub loaded_records: u64,
+    /// Checkpoint files read (1 full + N partials).
+    pub checkpoint_files: usize,
+    /// The watermark recovery resumed from.
+    pub watermark: CommitSeq,
+    /// Transactions replayed from the command log.
+    pub replayed: u64,
+    /// Time spent loading + merging checkpoints — the "recovery time"
+    /// annotated on Figure 4(b).
+    pub load_duration: Duration,
+    /// Time spent replaying.
+    pub replay_duration: Duration,
+}
+
+/// Serial replay bridge: routes a procedure's data operations straight to
+/// the strategy (no locks — replay is single-threaded in commit order).
+struct ReplayOps<'a> {
+    strategy: &'a dyn CheckpointStrategy,
+    token: calc_core::strategy::TxnToken,
+    failed: Option<String>,
+}
+
+impl TxnOps for ReplayOps<'_> {
+    fn get(&mut self, key: Key) -> Option<Value> {
+        self.strategy.get(key)
+    }
+
+    fn put(&mut self, key: Key, value: &[u8]) {
+        if let Err(e) = self.strategy.apply_write(&mut self.token, key, value) {
+            self.failed = Some(format!("put {key}: {e}"));
+        }
+    }
+
+    fn insert(&mut self, key: Key, value: &[u8]) -> bool {
+        match self.strategy.apply_insert(&mut self.token, key, value) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.failed = Some(format!("insert {key}: {e}"));
+                false
+            }
+        }
+    }
+
+    fn delete(&mut self, key: Key) -> bool {
+        self.strategy.apply_delete(&mut self.token, key).is_ok()
+    }
+}
+
+/// Loads the newest recovery chain into a **fresh** strategy instance
+/// (checkpoint-only mode, paper use cases 1–2 of §1).
+pub fn recover_checkpoint_only(
+    dir: &CheckpointDir,
+    strategy: &dyn CheckpointStrategy,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    let start = Instant::now();
+    let Some((full, partials)) = dir.recovery_chain()? else {
+        return Err(RecoveryError::NoFullCheckpoint);
+    };
+    let watermark = partials.last().map(|p| p.watermark).unwrap_or(full.watermark);
+    let files = 1 + partials.len();
+    let state = materialize_chain(&full, &partials)?;
+    let mut loaded = 0u64;
+    for (key, value) in &state {
+        strategy.load_initial(*key, value)?;
+        loaded += 1;
+    }
+    Ok(RecoveryOutcome {
+        loaded_records: loaded,
+        checkpoint_files: files,
+        watermark,
+        replayed: 0,
+        load_duration: start.elapsed(),
+        replay_duration: Duration::ZERO,
+    })
+}
+
+/// Full recovery: load the newest chain, then deterministically replay
+/// `commands` (commit records with `seq > watermark`, in order) through
+/// the registry. Refuses non-transaction-consistent strategies.
+pub fn recover(
+    dir: &CheckpointDir,
+    strategy: &dyn CheckpointStrategy,
+    registry: &ProcRegistry,
+    commands: &[CommitRecord],
+) -> Result<RecoveryOutcome, RecoveryError> {
+    if !strategy.transaction_consistent() {
+        return Err(RecoveryError::NotTransactionConsistent(strategy.name()));
+    }
+    let mut outcome = recover_checkpoint_only(dir, strategy)?;
+    let replay_start = Instant::now();
+    for rec in commands {
+        if rec.seq <= outcome.watermark {
+            continue; // already reflected in the checkpoint
+        }
+        let proc = registry
+            .get(rec.proc)
+            .ok_or(RecoveryError::UnknownProcedure(rec.proc.0))?;
+        let mut ops = ReplayOps {
+            strategy,
+            token: strategy.txn_begin(),
+            failed: None,
+        };
+        let result = proc.run(&rec.params, &mut ops);
+        let ReplayOps {
+            mut token, failed, ..
+        } = ops;
+        match (result, failed) {
+            (Ok(()), None) => {
+                // Replay does not re-append to a commit log; the stamp of
+                // the fresh strategy (REST, cycle 0) is fine for the
+                // commit hook.
+                let stamp = calc_txn::commitlog::PhaseStamp {
+                    cycle: 0,
+                    phase: calc_common::phase::Phase::Rest,
+                };
+                strategy.on_commit(&mut token, rec.seq, stamp);
+                strategy.txn_end(token);
+                outcome.replayed += 1;
+            }
+            (Err(e), _) => {
+                // A deterministic abort also happened (identically) before
+                // the crash, so the original never committed… except it IS
+                // in the commit log. Divergence.
+                strategy.txn_end(token);
+                return Err(RecoveryError::ReplayDiverged(format!("{}: {e}", rec.txn)));
+            }
+            (Ok(()), Some(msg)) => {
+                strategy.txn_end(token);
+                return Err(RecoveryError::ReplayDiverged(format!("{}: {msg}", rec.txn)));
+            }
+        }
+    }
+    outcome.replay_duration = replay_start.elapsed();
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calc_core::calc::CalcStrategy;
+    use calc_core::manifest::CheckpointDir;
+    use calc_core::strategy::NoopEnv;
+    use calc_core::throttle::Throttle;
+    use calc_storage::dual::StoreConfig;
+    use calc_txn::commitlog::CommitLog;
+    use calc_txn::proc::{params, AbortReason, LockRequest, ProcId, Procedure};
+    use calc_common::types::TxnId;
+    use std::sync::Arc;
+
+    /// Deterministic test procedure: sets key K to a value derived from
+    /// params.
+    struct SetProc;
+    impl Procedure for SetProc {
+        fn id(&self) -> ProcId {
+            ProcId(1)
+        }
+        fn name(&self) -> &'static str {
+            "set"
+        }
+        fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+            let mut r = params::Reader::new(p);
+            let key = r.u64()?;
+            Ok(LockRequest {
+                reads: vec![],
+                writes: vec![Key(key)],
+            })
+        }
+        fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+            let mut r = params::Reader::new(p);
+            let key = Key(r.u64()?);
+            let val = r.u64()?;
+            let bytes = val.to_le_bytes();
+            if ops.get(key).is_some() {
+                ops.put(key, &bytes);
+            } else {
+                ops.insert(key, &bytes);
+            }
+            Ok(())
+        }
+    }
+
+    fn dir(name: &str) -> CheckpointDir {
+        let d = std::env::temp_dir().join(format!(
+            "calc-recovery-{}-{}-{name}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        CheckpointDir::open(&d, Arc::new(Throttle::unlimited())).unwrap()
+    }
+
+    fn set_params(key: u64, val: u64) -> Arc<[u8]> {
+        params::Writer::new().u64(key).u64(val).finish()
+    }
+
+    fn run_set(
+        strategy: &CalcStrategy,
+        log: &CommitLog,
+        key: u64,
+        val: u64,
+    ) {
+        let proc = SetProc;
+        let p = set_params(key, val);
+        let mut ops = ReplayOps {
+            strategy,
+            token: strategy.txn_begin(),
+            failed: None,
+        };
+        proc.run(&p, &mut ops).unwrap();
+        assert!(ops.failed.is_none());
+        let mut token = ops.token;
+        let (seq, stamp) = log.append_commit(TxnId(key * 100 + val), ProcId(1), p);
+        strategy.on_commit(&mut token, seq, stamp);
+        strategy.txn_end(token);
+    }
+
+    #[test]
+    fn checkpoint_then_replay_reconstructs_state() {
+        let log = Arc::new(CommitLog::new(true));
+        let primary = CalcStrategy::full(StoreConfig::for_records(256, 16), log.clone());
+        let d = dir("replay");
+
+        // 10 pre-checkpoint transactions.
+        for k in 0..10 {
+            run_set(&primary, &log, k, k * 2);
+        }
+        let stats = primary.checkpoint(&NoopEnv, &d).unwrap();
+        // 5 post-checkpoint transactions (3 new keys, 2 overwrites).
+        for k in 8..13 {
+            run_set(&primary, &log, k, 1000 + k);
+        }
+
+        // Crash. Fresh strategy + recovery.
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(SetProc));
+        let recovered = CalcStrategy::full(
+            StoreConfig::for_records(256, 16),
+            Arc::new(CommitLog::new(true)),
+        );
+        let commands = log.commits_after(CommitSeq::ZERO);
+        let outcome = recover(&d, &recovered, &registry, &commands).unwrap();
+        assert_eq!(outcome.loaded_records, 10);
+        assert_eq!(outcome.replayed, 5);
+        assert_eq!(outcome.watermark, stats.watermark);
+
+        // Recovered state must equal primary state.
+        for k in 0..13u64 {
+            assert_eq!(
+                recovered.get(Key(k)),
+                primary.get(Key(k)),
+                "key {k} diverged"
+            );
+        }
+        assert_eq!(recovered.record_count(), primary.record_count());
+    }
+
+    #[test]
+    fn checkpoint_only_loses_post_checkpoint_txns() {
+        let log = Arc::new(CommitLog::new(false));
+        let primary = CalcStrategy::full(StoreConfig::for_records(64, 16), log.clone());
+        let d = dir("ckptonly");
+        for k in 0..5 {
+            run_set(&primary, &log, k, k);
+        }
+        primary.checkpoint(&NoopEnv, &d).unwrap();
+        run_set(&primary, &log, 99, 99);
+
+        let recovered = CalcStrategy::full(
+            StoreConfig::for_records(64, 16),
+            Arc::new(CommitLog::new(false)),
+        );
+        let outcome = recover_checkpoint_only(&d, &recovered).unwrap();
+        assert_eq!(outcome.loaded_records, 5);
+        assert!(recovered.get(Key(99)).is_none(), "post-checkpoint txn lost");
+        assert_eq!(recovered.get(Key(3)).unwrap(), 3u64.to_le_bytes().into());
+    }
+
+    #[test]
+    fn recovery_without_full_checkpoint_fails() {
+        let recovered = CalcStrategy::full(
+            StoreConfig::for_records(16, 16),
+            Arc::new(CommitLog::new(false)),
+        );
+        let d = dir("nofull");
+        let err = recover_checkpoint_only(&d, &recovered).unwrap_err();
+        assert!(matches!(err, RecoveryError::NoFullCheckpoint));
+    }
+
+    #[test]
+    fn unknown_procedure_fails_replay() {
+        let log = Arc::new(CommitLog::new(true));
+        let primary = CalcStrategy::full(StoreConfig::for_records(64, 16), log.clone());
+        let d = dir("unknownproc");
+        run_set(&primary, &log, 1, 1);
+        primary.checkpoint(&NoopEnv, &d).unwrap();
+        run_set(&primary, &log, 2, 2);
+
+        let registry = ProcRegistry::new(); // empty!
+        let recovered = CalcStrategy::full(
+            StoreConfig::for_records(64, 16),
+            Arc::new(CommitLog::new(false)),
+        );
+        let commands = log.commits_after(CommitSeq::ZERO);
+        let err = recover(&d, &recovered, &registry, &commands).unwrap_err();
+        assert!(matches!(err, RecoveryError::UnknownProcedure(1)));
+    }
+
+    #[test]
+    fn fuzzy_recovery_refused() {
+        use calc_txn::proc::ProcRegistry;
+        let log = Arc::new(CommitLog::new(false));
+        let fuzzy = calc_baselines_stub::fuzzy_stub(log);
+        let d = dir("fuzzyrefuse");
+        let err = recover(&d, fuzzy.as_ref(), &ProcRegistry::new(), &[]).unwrap_err();
+        assert!(matches!(err, RecoveryError::NotTransactionConsistent(_)));
+    }
+
+    /// Tiny local stand-in so this crate need not depend on
+    /// calc-baselines: any strategy reporting non-TC is refused. We wrap
+    /// CalcStrategy and override the flag.
+    mod calc_baselines_stub {
+        use super::*;
+        use calc_core::manifest::CheckpointDir;
+        use calc_core::strategy::*;
+        use calc_storage::mem::MemoryStats;
+        use calc_txn::commitlog::PhaseStamp;
+
+        struct NonTc(CalcStrategy);
+        impl CheckpointStrategy for NonTc {
+            fn name(&self) -> &'static str {
+                "NonTC"
+            }
+            fn transaction_consistent(&self) -> bool {
+                false
+            }
+            fn partial(&self) -> bool {
+                false
+            }
+            fn load_initial(
+                &self,
+                key: Key,
+                value: &[u8],
+            ) -> Result<(), calc_storage::dual::StoreError> {
+                self.0.load_initial(key, value)
+            }
+            fn get(&self, key: Key) -> Option<Value> {
+                self.0.get(key)
+            }
+            fn record_count(&self) -> usize {
+                self.0.record_count()
+            }
+            fn txn_begin(&self) -> TxnToken {
+                self.0.txn_begin()
+            }
+            fn txn_end(&self, t: TxnToken) {
+                self.0.txn_end(t)
+            }
+            fn apply_write(
+                &self,
+                t: &mut TxnToken,
+                k: Key,
+                v: &[u8],
+            ) -> Result<Option<Value>, calc_storage::dual::StoreError> {
+                self.0.apply_write(t, k, v)
+            }
+            fn apply_insert(
+                &self,
+                t: &mut TxnToken,
+                k: Key,
+                v: &[u8],
+            ) -> Result<bool, calc_storage::dual::StoreError> {
+                self.0.apply_insert(t, k, v)
+            }
+            fn apply_delete(
+                &self,
+                t: &mut TxnToken,
+                k: Key,
+            ) -> Result<Option<Value>, calc_storage::dual::StoreError> {
+                self.0.apply_delete(t, k)
+            }
+            fn on_commit(&self, t: &mut TxnToken, s: CommitSeq, c: PhaseStamp) {
+                self.0.on_commit(t, s, c)
+            }
+            fn on_abort(&self, t: &mut TxnToken, u: &[UndoRec]) {
+                self.0.on_abort(t, u)
+            }
+            fn checkpoint(
+                &self,
+                e: &dyn EngineEnv,
+                d: &CheckpointDir,
+            ) -> std::io::Result<CheckpointStats> {
+                self.0.checkpoint(e, d)
+            }
+            fn write_base_checkpoint(
+                &self,
+                d: &CheckpointDir,
+            ) -> std::io::Result<CheckpointStats> {
+                CheckpointStrategy::write_base_checkpoint(&self.0, d)
+            }
+            fn memory(&self) -> MemoryStats {
+                self.0.memory()
+            }
+        }
+
+        pub fn fuzzy_stub(log: Arc<CommitLog>) -> Arc<dyn CheckpointStrategy> {
+            Arc::new(NonTc(CalcStrategy::full(
+                StoreConfig::for_records(16, 16),
+                log,
+            )))
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Benchmark workloads from the paper's evaluation (§5).
+//!
+//! * [`micro`] — the microbenchmark of §5.1: a collection of 100-byte
+//!   records with 8-byte keys; each transaction reads and updates 10
+//!   records and does some simple computation. Variants: 0.001%
+//!   long-running batch-write transactions (§5.1's second version, the
+//!   workload that exposes IPP/Zig-Zag's physical-point-of-consistency
+//!   stall), and hot-set write locality (10%/20%/50% of records modified
+//!   between checkpoints, §5.1.2).
+//! * [`tpcc`] — TPC-C at a configurable warehouse count, running the 50%
+//!   NewOrder / 50% Payment mix of §5.2 ("these two transactions make up
+//!   88% of the default TPC-C mix and are the most relevant ... since
+//!   they are write-intensive").
+//! * [`spin`] — calibrated deterministic busywork, used for the
+//!   microbenchmark's "simple computing operations" and the ~2-second
+//!   long transactions (iteration counts ride in the parameters, so
+//!   replay is deterministic).
+
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod spin;
+pub mod tpcc;
+
+pub use micro::{MicroConfig, MicroWorkload};
+pub use tpcc::{TpccConfig, TpccWorkload};

@@ -1,0 +1,63 @@
+//! Calibrated deterministic busywork.
+//!
+//! The microbenchmark's transactions "do some simple computing
+//! operations", and 0.001% of them are "long-running batch-writes which
+//! take approximately two seconds" (§5.1). Wall-clock sleeps would be
+//! non-deterministic under replay, so work is expressed as an *iteration
+//! count* of a fixed mixing loop carried in the transaction parameters;
+//! [`calibrate`] measures how many iterations approximate a target
+//! duration on this host.
+
+use std::time::{Duration, Instant};
+
+/// Runs `iters` rounds of a splitmix-style mixing loop seeded with `seed`
+/// and returns the folded result (so the optimizer cannot remove it).
+#[inline]
+pub fn spin(seed: u64, iters: u64) -> u64 {
+    let mut x = seed | 1;
+    for _ in 0..iters {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+    }
+    x
+}
+
+/// Measures how many [`spin`] iterations take roughly `target` on this
+/// host. Deterministic work, host-calibrated duration.
+pub fn calibrate(target: Duration) -> u64 {
+    // Measure a fixed probe batch, then scale.
+    let probe = 2_000_000u64;
+    let start = Instant::now();
+    std::hint::black_box(spin(42, probe));
+    let elapsed = start.elapsed().max(Duration::from_micros(10));
+    let iters_per_sec = probe as f64 / elapsed.as_secs_f64();
+    (iters_per_sec * target.as_secs_f64()).max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_is_deterministic() {
+        assert_eq!(spin(7, 1000), spin(7, 1000));
+        assert_ne!(spin(7, 1000), spin(8, 1000));
+        assert_ne!(spin(7, 1000), spin(7, 1001));
+    }
+
+    #[test]
+    fn calibrate_lands_in_the_ballpark() {
+        let target = Duration::from_millis(50);
+        let iters = calibrate(target);
+        let start = Instant::now();
+        std::hint::black_box(spin(1, iters));
+        let actual = start.elapsed();
+        // Debug builds and noisy CI: accept a factor of 4 either way.
+        assert!(
+            actual > target / 4 && actual < target * 4,
+            "calibrated {iters} iters took {actual:?}, target {target:?}"
+        );
+    }
+}

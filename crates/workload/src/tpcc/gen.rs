@@ -1,0 +1,556 @@
+//! TPC-C population and request generation.
+
+use std::sync::Arc;
+
+use calc_common::rng::SplitMix;
+use calc_engine::Database;
+use calc_txn::proc::{ProcId, ProcRegistry};
+
+use super::keys;
+use super::procs::{
+    delivery_params, new_order_params, order_status_params, payment_params, stock_level_params,
+    DeliveryProc, NewOrderProc, OrderStatusProc, PaymentProc, StockLevelProc, DELIVERY_PROC,
+    INVALID_ITEM, NEW_ORDER_PROC, ORDER_STATUS_PROC, PAYMENT_PROC, STOCK_LEVEL_PROC,
+};
+use super::tables::*;
+
+/// TPC-C scale parameters. `paper()` is the evaluation's 50-warehouse
+/// setup; `small()` is a test-sized instance.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    /// Warehouse count (paper: 50).
+    pub warehouses: u32,
+    /// Districts per warehouse (spec: 10).
+    pub districts: u32,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u32,
+    /// Item catalogue size (spec: 100 000).
+    pub items: u32,
+    /// Probability of the invalid-item rollback (spec: 1%).
+    pub rollback_prob: f64,
+    /// Fraction of order lines supplied by a remote warehouse (spec: 1%).
+    pub remote_prob: f64,
+}
+
+impl TpccConfig {
+    /// The paper's 50-warehouse configuration.
+    pub fn paper() -> Self {
+        TpccConfig {
+            warehouses: 50,
+            districts: 10,
+            customers_per_district: 3000,
+            items: 100_000,
+            rollback_prob: 0.01,
+            remote_prob: 0.01,
+        }
+    }
+
+    /// A small configuration for tests and quick runs.
+    pub fn small() -> Self {
+        TpccConfig {
+            warehouses: 2,
+            districts: 4,
+            customers_per_district: 30,
+            items: 100,
+            rollback_prob: 0.01,
+            remote_prob: 0.05,
+        }
+    }
+
+    /// Scaled configuration: `warehouses` at spec cardinalities.
+    pub fn with_warehouses(warehouses: u32) -> Self {
+        TpccConfig {
+            warehouses,
+            ..TpccConfig::paper()
+        }
+    }
+
+    /// Records created by population.
+    pub fn initial_records(&self) -> usize {
+        let w = self.warehouses as usize;
+        let d = self.districts as usize;
+        let c = self.customers_per_district as usize;
+        let i = self.items as usize;
+        w + w * d + w * d * c + w * i + i
+    }
+
+    /// A store-capacity hint leaving room for `expected_orders` NewOrder
+    /// transactions (each inserts 1 order + 1 new-order + ~10 order
+    /// lines) and as many Payment histories.
+    pub fn capacity_hint(&self, expected_orders: usize) -> usize {
+        self.initial_records() + expected_orders * 13 + 1024
+    }
+}
+
+/// TPC-C request generator (50% NewOrder / 50% Payment).
+pub struct TpccWorkload {
+    config: TpccConfig,
+    rng: SplitMix,
+    /// NURand constants, fixed per run as the spec requires.
+    c_c_id: u64,
+    c_i_id: u64,
+    /// Unique history-id allocator.
+    next_h_id: u64,
+    /// Logical clock for entry dates (deterministic).
+    clock: u64,
+}
+
+impl TpccWorkload {
+    /// Creates a generator.
+    pub fn new(config: TpccConfig, seed: u64) -> Self {
+        let mut rng = SplitMix::new(seed);
+        let c_c_id = rng.next_below(1024);
+        let c_i_id = rng.next_below(8192);
+        TpccWorkload {
+            config,
+            rng,
+            c_c_id,
+            c_i_id,
+            next_h_id: 1,
+            clock: 1,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    /// Partitions the history-id space so several generator instances
+    /// (one per feeder thread) never collide: instance `i` allocates ids
+    /// in `[i << 40, (i+1) << 40)`.
+    pub fn set_history_partition(&mut self, instance: u64) {
+        self.next_h_id = (instance << 40) + 1;
+    }
+
+    /// Registers NewOrder and Payment (the paper's §5.2 mix).
+    pub fn register(registry: &mut ProcRegistry) {
+        registry.register(Arc::new(NewOrderProc));
+        registry.register(Arc::new(PaymentProc));
+    }
+
+    /// Registers all five TPC-C transactions (the spec's full mix).
+    pub fn register_full_mix(registry: &mut ProcRegistry) {
+        Self::register(registry);
+        registry.register(Arc::new(DeliveryProc));
+        registry.register(Arc::new(OrderStatusProc));
+        registry.register(Arc::new(StockLevelProc));
+    }
+
+    /// Loads warehouses, districts, customers, stock, and items at the
+    /// configured cardinalities.
+    pub fn populate(&self, db: &Database) {
+        let cfg = &self.config;
+        for i in 0..cfg.items {
+            db.load_initial(
+                keys::item(i),
+                &Item {
+                    price_cents: 100 + (i as u64 * 37) % 9900,
+                    im_id: i % 10_000,
+                }
+                .encode(),
+            )
+            .expect("capacity");
+        }
+        for w in 0..cfg.warehouses {
+            db.load_initial(
+                keys::warehouse(w),
+                &Warehouse {
+                    ytd_cents: 30_000_000,
+                    tax_bp: (w as u64 * 13 % 2000) as u32,
+                }
+                .encode(),
+            )
+            .expect("capacity");
+            for i in 0..cfg.items {
+                db.load_initial(
+                    keys::stock(w, i),
+                    &Stock {
+                        quantity: 50 + (i % 50),
+                        ytd: 0,
+                        order_cnt: 0,
+                        remote_cnt: 0,
+                    }
+                    .encode(),
+                )
+                .expect("capacity");
+            }
+            for d in 0..cfg.districts {
+                db.load_initial(
+                    keys::district(w, d),
+                    &District {
+                        next_o_id: 1,
+                        next_deliv_o_id: 1,
+                        ytd_cents: 3_000_000,
+                        tax_bp: (d as u64 * 17 % 2000) as u32,
+                    }
+                    .encode(),
+                )
+                .expect("capacity");
+                for c in 0..cfg.customers_per_district {
+                    db.load_initial(
+                        keys::customer(w, d, c),
+                        &Customer {
+                            balance_cents: -1000,
+                            ytd_payment_cents: 1000,
+                            payment_cnt: 1,
+                            delivery_cnt: 0,
+                            discount_bp: (c as u64 * 7 % 5000) as u32,
+                            credit_ok: (c % 10 != 0) as u32,
+                        }
+                        .encode(),
+                    )
+                    .expect("capacity");
+                }
+            }
+        }
+    }
+
+    /// TPC-C NURand(A, 0, x-1).
+    fn nurand(&mut self, a: u64, c: u64, x: u64) -> u64 {
+        ((self.rng.next_below(a + 1) | self.rng.next_below(x)) + c) % x
+    }
+
+    /// Generates the next request: 50% NewOrder, 50% Payment (§5.2).
+    pub fn next_request(&mut self) -> (ProcId, Arc<[u8]>) {
+        self.clock += 1;
+        let cfg_items = self.config.items as u64;
+        let cfg_cust = self.config.customers_per_district as u64;
+        let w = self.rng.next_below(self.config.warehouses as u64) as u32;
+        let d = self.rng.next_below(self.config.districts as u64) as u32;
+        if self.rng.chance(0.5) {
+            // NewOrder.
+            let c = self.nurand(1023, self.c_c_id, cfg_cust) as u32;
+            let ol_cnt = 5 + self.rng.next_below(11) as u32; // 5..=15
+            let rollback = self.rng.chance(self.config.rollback_prob);
+            let mut lines = Vec::with_capacity(ol_cnt as usize);
+            for ol in 0..ol_cnt {
+                let item = if rollback && ol == ol_cnt - 1 {
+                    INVALID_ITEM
+                } else {
+                    self.nurand(8191, self.c_i_id, cfg_items) as u32
+                };
+                let supply_w = if self.config.warehouses > 1
+                    && self.rng.chance(self.config.remote_prob)
+                {
+                    // A different warehouse.
+                    let mut sw = self.rng.next_below(self.config.warehouses as u64) as u32;
+                    if sw == w {
+                        sw = (sw + 1) % self.config.warehouses;
+                    }
+                    sw
+                } else {
+                    w
+                };
+                let qty = 1 + self.rng.next_below(10) as u32;
+                lines.push((item, supply_w, qty));
+            }
+            (
+                NEW_ORDER_PROC,
+                new_order_params(w, d, c, self.clock, &lines),
+            )
+        } else {
+            // Payment.
+            let c = self.nurand(1023, self.c_c_id, cfg_cust) as u32;
+            let amount = 100 + self.rng.next_below(500_000);
+            let h_id = self.next_h_id;
+            self.next_h_id += 1;
+            (
+                PAYMENT_PROC,
+                payment_params(w, d, c, amount, h_id, self.clock),
+            )
+        }
+    }
+}
+
+impl TpccWorkload {
+    fn gen_new_order(&mut self) -> (ProcId, Arc<[u8]>) {
+        let cfg_items = self.config.items as u64;
+        let cfg_cust = self.config.customers_per_district as u64;
+        let w = self.rng.next_below(self.config.warehouses as u64) as u32;
+        let d = self.rng.next_below(self.config.districts as u64) as u32;
+        let c = self.nurand(1023, self.c_c_id, cfg_cust) as u32;
+        let ol_cnt = 5 + self.rng.next_below(11) as u32;
+        let rollback = self.rng.chance(self.config.rollback_prob);
+        let mut lines = Vec::with_capacity(ol_cnt as usize);
+        for ol in 0..ol_cnt {
+            let item = if rollback && ol == ol_cnt - 1 {
+                INVALID_ITEM
+            } else {
+                self.nurand(8191, self.c_i_id, cfg_items) as u32
+            };
+            let supply_w = if self.config.warehouses > 1 && self.rng.chance(self.config.remote_prob)
+            {
+                let mut sw = self.rng.next_below(self.config.warehouses as u64) as u32;
+                if sw == w {
+                    sw = (sw + 1) % self.config.warehouses;
+                }
+                sw
+            } else {
+                w
+            };
+            let qty = 1 + self.rng.next_below(10) as u32;
+            lines.push((item, supply_w, qty));
+        }
+        (NEW_ORDER_PROC, new_order_params(w, d, c, self.clock, &lines))
+    }
+
+    fn gen_payment(&mut self) -> (ProcId, Arc<[u8]>) {
+        let cfg_cust = self.config.customers_per_district as u64;
+        let w = self.rng.next_below(self.config.warehouses as u64) as u32;
+        let d = self.rng.next_below(self.config.districts as u64) as u32;
+        let c = self.nurand(1023, self.c_c_id, cfg_cust) as u32;
+        let amount = 100 + self.rng.next_below(500_000);
+        let h_id = self.next_h_id;
+        self.next_h_id += 1;
+        (PAYMENT_PROC, payment_params(w, d, c, amount, h_id, self.clock))
+    }
+
+    /// Generates a request from the spec's full five-transaction mix
+    /// (45% NewOrder, 43% Payment, 4% each OrderStatus / Delivery /
+    /// StockLevel). Delivery needs a reconnaissance read against the live
+    /// database to predict its dependent lock set (`o_id`, `c_id`) —
+    /// the Calvin/OLLP technique — hence the `db` parameter. A stale
+    /// prediction deterministically aborts and the next attempt retries.
+    pub fn next_request_full_mix(&mut self, db: &Database) -> (ProcId, Arc<[u8]>) {
+        self.clock += 1;
+        let roll = self.rng.next_below(100);
+        let w = self.rng.next_below(self.config.warehouses as u64) as u32;
+        let d = self.rng.next_below(self.config.districts as u64) as u32;
+        match roll {
+            0..=44 => self.gen_new_order(),
+            45..=87 => self.gen_payment(),
+            88..=91 => {
+                let c = self
+                    .nurand(1023, self.c_c_id, self.config.customers_per_district as u64)
+                    as u32;
+                (ORDER_STATUS_PROC, order_status_params(w, d, c))
+            }
+            92..=95 => {
+                let threshold = 10 + self.rng.next_below(11) as u32;
+                (STOCK_LEVEL_PROC, stock_level_params(w, d, threshold))
+            }
+            _ => {
+                // Delivery: reconnaissance-read the district cursor and the
+                // order it points at; fall back to Payment when there is
+                // nothing to deliver.
+                let recon = db.get(keys::district(w, d)).and_then(|bytes| {
+                    let district = District::decode(&bytes).ok()?;
+                    if district.next_deliv_o_id >= district.next_o_id {
+                        return None;
+                    }
+                    let o_id = district.next_deliv_o_id;
+                    let order = Order::decode(&db.get(keys::order(w, d, o_id))?).ok()?;
+                    Some((o_id, order.c_id))
+                });
+                match recon {
+                    Some((o_id, c_id)) => {
+                        let carrier = 1 + self.rng.next_below(10) as u32;
+                        (
+                            DELIVERY_PROC,
+                            delivery_params(w, d, carrier, self.clock, o_id, c_id),
+                        )
+                    }
+                    None => self.gen_payment(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calc_common::types::Key;
+    use calc_engine::{EngineConfig, StrategyKind, TxnOutcome};
+
+    fn open(config: &TpccConfig, name: &str) -> Database {
+        let dir = std::env::temp_dir().join(format!(
+            "calc-tpcc-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut registry = ProcRegistry::new();
+        TpccWorkload::register(&mut registry);
+        let mut ec = EngineConfig::new(
+            StrategyKind::Calc,
+            config.capacity_hint(10_000),
+            140,
+            dir,
+        );
+        ec.workers = 4;
+        Database::open(ec, registry).unwrap()
+    }
+
+    #[test]
+    fn populate_cardinalities() {
+        let config = TpccConfig::small();
+        let db = open(&config, "pop");
+        let wl = TpccWorkload::new(config.clone(), 1);
+        wl.populate(&db);
+        assert_eq!(db.record_count(), config.initial_records());
+        // Spot checks.
+        assert!(db.get(keys::warehouse(0)).is_some());
+        assert!(db.get(keys::warehouse(config.warehouses)).is_none());
+        assert!(db
+            .get(keys::customer(1, 3, config.customers_per_district - 1))
+            .is_some());
+        assert!(db.get(keys::stock(1, config.items - 1)).is_some());
+    }
+
+    #[test]
+    fn mixed_workload_runs_and_inserts_orders() {
+        let config = TpccConfig::small();
+        let db = open(&config, "mix");
+        let mut wl = TpccWorkload::new(config.clone(), 2);
+        wl.populate(&db);
+        let before = db.record_count();
+        let mut committed = 0;
+        let mut rolled_back = 0;
+        for _ in 0..200 {
+            let (proc, p) = wl.next_request();
+            match db.execute(proc, p) {
+                TxnOutcome::Committed(_) => committed += 1,
+                TxnOutcome::Aborted(_) => rolled_back += 1,
+            }
+        }
+        assert!(committed > 150, "committed={committed}");
+        // ~1% rollbacks in 100 NewOrders: usually 0-5.
+        assert!(rolled_back < 20, "rolled_back={rolled_back}");
+        assert!(
+            db.record_count() > before,
+            "NewOrder/Payment must insert rows"
+        );
+    }
+
+    #[test]
+    fn new_order_advances_district_and_inserts_lines() {
+        let config = TpccConfig::small();
+        let db = open(&config, "noord");
+        let wl = TpccWorkload::new(config.clone(), 3);
+        wl.populate(&db);
+        let lines = [(1u32, 0u32, 3u32), (2, 0, 1)];
+        let p = new_order_params(0, 0, 5, 99, &lines);
+        let out = db.execute(NEW_ORDER_PROC, p);
+        assert!(matches!(out, TxnOutcome::Committed(_)));
+        let district = District::decode(&db.get(keys::district(0, 0)).unwrap()).unwrap();
+        assert_eq!(district.next_o_id, 2);
+        let order = Order::decode(&db.get(keys::order(0, 0, 1)).unwrap()).unwrap();
+        assert_eq!(order.c_id, 5);
+        assert_eq!(order.ol_cnt, 2);
+        assert!(db.get(keys::new_order(0, 0, 1)).is_some());
+        let ol = OrderLine::decode(&db.get(keys::order_line(0, 0, 1, 0)).unwrap()).unwrap();
+        assert_eq!(ol.quantity, 3);
+        let stock = Stock::decode(&db.get(keys::stock(0, 1)).unwrap()).unwrap();
+        assert_eq!(stock.order_cnt, 1);
+        assert_eq!(stock.ytd, 3);
+    }
+
+    #[test]
+    fn invalid_item_rolls_back_everything() {
+        let config = TpccConfig::small();
+        let db = open(&config, "rollback");
+        let wl = TpccWorkload::new(config.clone(), 4);
+        wl.populate(&db);
+        let district_before = db.get(keys::district(0, 0)).unwrap();
+        let stock_before = db.get(keys::stock(0, 1)).unwrap();
+        let lines = [(1u32, 0u32, 3u32), (INVALID_ITEM, 0, 1)];
+        let out = db.execute(NEW_ORDER_PROC, new_order_params(0, 0, 5, 99, &lines));
+        assert!(matches!(out, TxnOutcome::Aborted(_)));
+        assert_eq!(db.get(keys::district(0, 0)).unwrap(), district_before);
+        assert_eq!(db.get(keys::stock(0, 1)).unwrap(), stock_before);
+        assert!(db.get(keys::order(0, 0, 1)).is_none());
+        assert!(db.get(keys::order_line(0, 0, 1, 0)).is_none());
+    }
+
+    #[test]
+    fn payment_moves_money() {
+        let config = TpccConfig::small();
+        let db = open(&config, "pay");
+        let wl = TpccWorkload::new(config.clone(), 5);
+        wl.populate(&db);
+        let out = db.execute(PAYMENT_PROC, payment_params(1, 2, 3, 5000, 77, 123));
+        assert!(matches!(out, TxnOutcome::Committed(_)));
+        let w = Warehouse::decode(&db.get(keys::warehouse(1)).unwrap()).unwrap();
+        assert_eq!(w.ytd_cents, 30_005_000);
+        let c = Customer::decode(&db.get(keys::customer(1, 2, 3)).unwrap()).unwrap();
+        assert_eq!(c.balance_cents, -6000);
+        assert_eq!(c.payment_cnt, 2);
+        let h = History::decode(&db.get(keys::history(77)).unwrap()).unwrap();
+        assert_eq!(h.amount_cents, 5000);
+    }
+
+    #[test]
+    fn generator_determinism_and_mix() {
+        let config = TpccConfig::small();
+        let mut a = TpccWorkload::new(config.clone(), 11);
+        let mut b = TpccWorkload::new(config.clone(), 11);
+        let mut new_orders = 0;
+        for _ in 0..400 {
+            let (pa, ba) = a.next_request();
+            let (pb, bb) = b.next_request();
+            assert_eq!(pa, pb);
+            assert_eq!(&ba[..], &bb[..]);
+            if pa == NEW_ORDER_PROC {
+                new_orders += 1;
+            }
+        }
+        assert!((140..260).contains(&new_orders), "mix skewed: {new_orders}");
+    }
+
+    #[test]
+    fn money_conservation_under_concurrent_payments() {
+        // Sum of warehouse YTD increases must equal sum of customer
+        // balance decreases — serializability check under concurrency.
+        let config = TpccConfig::small();
+        let db = std::sync::Arc::new(open(&config, "conserve"));
+        let wl = TpccWorkload::new(config.clone(), 6);
+        wl.populate(&db);
+        let total_amount: u64 = (0..500u64)
+            .map(|i| {
+                let amount = 100 + i;
+                db.submit(
+                    PAYMENT_PROC,
+                    payment_params(
+                        (i % config.warehouses as u64) as u32,
+                        (i % config.districts as u64) as u32,
+                        (i % config.customers_per_district as u64) as u32,
+                        amount,
+                        1000 + i,
+                        i,
+                    ),
+                );
+                amount
+            })
+            .sum();
+        // Drain: a sync marker only proves earlier requests were
+        // *dequeued*; wait for all 501 to finish.
+        db.execute(PAYMENT_PROC, payment_params(0, 0, 0, 0, 999_999, 0));
+        while db.metrics().committed() + db.metrics().aborted() < 501 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let ytd_total: u64 = (0..config.warehouses)
+            .map(|w| {
+                Warehouse::decode(&db.get(keys::warehouse(w)).unwrap())
+                    .unwrap()
+                    .ytd_cents
+            })
+            .sum();
+        let baseline = 30_000_000u64 * config.warehouses as u64;
+        assert_eq!(ytd_total - baseline, total_amount);
+    }
+
+    #[test]
+    fn capacity_hint_is_generous_enough() {
+        let config = TpccConfig::small();
+        assert!(config.capacity_hint(100) > config.initial_records() + 100 * 12);
+    }
+
+    #[test]
+    fn keyspace_tags_do_not_collide_with_micro_keys() {
+        // The microbenchmark uses raw keys < 2^56; every TPC-C key has a
+        // nonzero tag byte.
+        assert!(keys::warehouse(0).raw() >= 1 << 56);
+        assert!(Key(12345).raw() < 1 << 56);
+    }
+}

@@ -1,0 +1,25 @@
+//! TPC-C (§5.2): 50 warehouses, 50% NewOrder / 50% Payment.
+//!
+//! "These two transactions make up 88% of the default TPC-C mix and are
+//! the most relevant transactions when experimenting with checkpointing
+//! algorithms since they are write-intensive." NewOrder's many writes per
+//! transaction are also what makes Zig-Zag fall further behind CALC here
+//! than on the microbenchmark (§5.2).
+//!
+//! * [`keys`] — composite primary keys bit-packed into the engine's
+//!   flat `u64` keyspace, table tag in the top byte.
+//! * [`tables`] — row encodings (length-stable little-endian layouts with
+//!   realistic filler).
+//! * [`procs`] — the NewOrder and Payment stored procedures, deterministic
+//!   given their parameters (entry dates, history ids, and amounts ride in
+//!   the params).
+//! * [`gen`] — cardinality-correct population and the request generator
+//!   with TPC-C's NURand skew.
+
+pub mod gen;
+pub mod keys;
+pub mod procs;
+pub mod tables;
+
+pub use gen::{TpccConfig, TpccWorkload};
+pub use procs::{NEW_ORDER_PROC, PAYMENT_PROC};

@@ -1,0 +1,555 @@
+//! The NewOrder and Payment stored procedures.
+//!
+//! Both pre-declare their lock footprints from their parameters. Keys
+//! whose ids are assigned *inside* the transaction (order / order-line /
+//! new-order rows keyed by the district's `next_o_id`, history rows keyed
+//! by a client-supplied unique id) need no locks of their own: any two
+//! transactions that could touch the same derived keys already serialize
+//! on the district (respectively customer) exclusive lock.
+//!
+//! NewOrder implements TPC-C's 1% rollback rule: a parameter may carry the
+//! invalid item sentinel, and the transaction aborts when the item lookup
+//! fails — exercising the engine's rollback path exactly as the spec
+//! intends.
+
+use calc_txn::proc::params::{Reader, Writer};
+use calc_txn::proc::{AbortReason, LockRequest, ProcId, Procedure, TxnOps};
+
+use super::keys;
+use super::tables::*;
+
+/// Procedure id of NewOrder.
+pub const NEW_ORDER_PROC: ProcId = ProcId(20);
+/// Procedure id of Payment.
+pub const PAYMENT_PROC: ProcId = ProcId(21);
+/// Item-id sentinel triggering the 1% rollback.
+pub const INVALID_ITEM: u32 = u32::MAX;
+
+/// TPC-C NewOrder.
+///
+/// Params: `w:u32 d:u32 c:u32 entry_d:u64 ol_cnt:u32` then per line
+/// `item:u32 supply_w:u32 qty:u32`.
+pub struct NewOrderProc;
+
+impl Procedure for NewOrderProc {
+    fn id(&self) -> ProcId {
+        NEW_ORDER_PROC
+    }
+
+    fn name(&self) -> &'static str {
+        "tpcc-new-order"
+    }
+
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let c = r.u32()?;
+        let _entry_d = r.u64()?;
+        let ol_cnt = r.u32()?;
+        let mut req = LockRequest {
+            reads: vec![keys::warehouse(w), keys::customer(w, d, c)],
+            writes: vec![keys::district(w, d)],
+        };
+        for _ in 0..ol_cnt {
+            let item = r.u32()?;
+            let supply_w = r.u32()?;
+            let _qty = r.u32()?;
+            req.reads.push(keys::item(item));
+            req.writes.push(keys::stock(supply_w, item));
+        }
+        Ok(req)
+    }
+
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let c = r.u32()?;
+        let entry_d = r.u64()?;
+        let ol_cnt = r.u32()?;
+
+        let warehouse = Warehouse::decode(
+            &ops.get(keys::warehouse(w))
+                .ok_or_else(|| AbortReason::Logic(format!("no warehouse {w}")))?,
+        )?;
+        let customer = Customer::decode(
+            &ops.get(keys::customer(w, d, c))
+                .ok_or_else(|| AbortReason::Logic(format!("no customer {w}/{d}/{c}")))?,
+        )?;
+        let district_key = keys::district(w, d);
+        let mut district = District::decode(
+            &ops.get(district_key)
+                .ok_or_else(|| AbortReason::Logic(format!("no district {w}/{d}")))?,
+        )?;
+        let o_id = district.next_o_id;
+        district.next_o_id += 1;
+        ops.put(district_key, &district.encode());
+
+        let mut all_local = 1u32;
+        let mut total_cents = 0u64;
+        for ol in 0..ol_cnt {
+            let i_id = r.u32()?;
+            let supply_w = r.u32()?;
+            let qty = r.u32()?;
+            // TPC-C 1% rollback: unused item number aborts the whole
+            // transaction (after some writes have happened — rollback is
+            // real work).
+            let item = ops
+                .get(keys::item(i_id))
+                .ok_or_else(|| AbortReason::Logic(format!("unused item number {i_id}")))
+                .and_then(|v| Item::decode(&v))?;
+            if supply_w != w {
+                all_local = 0;
+            }
+            let stock_key = keys::stock(supply_w, i_id);
+            let mut stock = Stock::decode(
+                &ops.get(stock_key)
+                    .ok_or_else(|| AbortReason::Logic(format!("no stock {supply_w}/{i_id}")))?,
+            )?;
+            stock.quantity = if stock.quantity >= qty + 10 {
+                stock.quantity - qty
+            } else {
+                stock.quantity + 91 - qty
+            };
+            stock.ytd += qty as u64;
+            stock.order_cnt += 1;
+            if supply_w != w {
+                stock.remote_cnt += 1;
+            }
+            ops.put(stock_key, &stock.encode());
+
+            let amount = qty as u64 * item.price_cents;
+            total_cents += amount;
+            ops.insert(
+                keys::order_line(w, d, o_id, ol),
+                &OrderLine {
+                    i_id,
+                    supply_w_id: supply_w,
+                    quantity: qty,
+                    amount_cents: amount,
+                    delivery_d: 0,
+                }
+                .encode(),
+            );
+        }
+        // Total with taxes/discount — computed to mirror the spec's math;
+        // folded into the order row via ol_cnt etc.
+        let _ = total_cents as f64
+            * (1.0 + (warehouse.tax_bp + district_tax(&district)) as f64 / 10_000.0)
+            * (1.0 - customer.discount_bp as f64 / 10_000.0);
+
+        ops.insert(
+            keys::order(w, d, o_id),
+            &Order {
+                c_id: c,
+                entry_d,
+                ol_cnt,
+                carrier_id: 0,
+                all_local,
+            }
+            .encode(),
+        );
+        ops.insert(keys::new_order(w, d, o_id), &NewOrderRow { o_id }.encode());
+        Ok(())
+    }
+}
+
+#[inline]
+fn district_tax(d: &District) -> u32 {
+    d.tax_bp
+}
+
+/// TPC-C Payment.
+///
+/// Params: `w:u32 d:u32 c:u32 amount_cents:u64 h_id:u64 date:u64`.
+pub struct PaymentProc;
+
+impl Procedure for PaymentProc {
+    fn id(&self) -> ProcId {
+        PAYMENT_PROC
+    }
+
+    fn name(&self) -> &'static str {
+        "tpcc-payment"
+    }
+
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let c = r.u32()?;
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![
+                keys::warehouse(w),
+                keys::district(w, d),
+                keys::customer(w, d, c),
+            ],
+        })
+    }
+
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let c = r.u32()?;
+        let amount = r.u64()?;
+        let h_id = r.u64()?;
+        let date = r.u64()?;
+
+        let w_key = keys::warehouse(w);
+        let mut warehouse = Warehouse::decode(
+            &ops.get(w_key)
+                .ok_or_else(|| AbortReason::Logic(format!("no warehouse {w}")))?,
+        )?;
+        warehouse.ytd_cents += amount;
+        ops.put(w_key, &warehouse.encode());
+
+        let d_key = keys::district(w, d);
+        let mut district = District::decode(
+            &ops.get(d_key)
+                .ok_or_else(|| AbortReason::Logic(format!("no district {w}/{d}")))?,
+        )?;
+        district.ytd_cents += amount;
+        ops.put(d_key, &district.encode());
+
+        let c_key = keys::customer(w, d, c);
+        let mut customer = Customer::decode(
+            &ops.get(c_key)
+                .ok_or_else(|| AbortReason::Logic(format!("no customer {w}/{d}/{c}")))?,
+        )?;
+        customer.balance_cents -= amount as i64;
+        customer.ytd_payment_cents += amount;
+        customer.payment_cnt += 1;
+        ops.put(c_key, &customer.encode());
+
+        ops.insert(
+            keys::history(h_id),
+            &History {
+                w_id: w,
+                d_id: d,
+                c_id: c,
+                amount_cents: amount,
+                date,
+            }
+            .encode(),
+        );
+        Ok(())
+    }
+}
+
+/// Builds NewOrder params.
+#[allow(clippy::too_many_arguments)]
+pub fn new_order_params(
+    w: u32,
+    d: u32,
+    c: u32,
+    entry_d: u64,
+    lines: &[(u32, u32, u32)], // (item, supply_w, qty)
+) -> std::sync::Arc<[u8]> {
+    let mut wtr = Writer::new()
+        .u32(w)
+        .u32(d)
+        .u32(c)
+        .u64(entry_d)
+        .u32(lines.len() as u32);
+    for &(item, supply_w, qty) in lines {
+        wtr = wtr.u32(item).u32(supply_w).u32(qty);
+    }
+    wtr.finish()
+}
+
+/// Builds Payment params.
+pub fn payment_params(
+    w: u32,
+    d: u32,
+    c: u32,
+    amount_cents: u64,
+    h_id: u64,
+    date: u64,
+) -> std::sync::Arc<[u8]> {
+    Writer::new()
+        .u32(w)
+        .u32(d)
+        .u32(c)
+        .u64(amount_cents)
+        .u64(h_id)
+        .u64(date)
+        .finish()
+}
+
+/// Procedure id of Delivery.
+pub const DELIVERY_PROC: ProcId = ProcId(22);
+/// Procedure id of OrderStatus.
+pub const ORDER_STATUS_PROC: ProcId = ProcId(23);
+/// Procedure id of StockLevel.
+pub const STOCK_LEVEL_PROC: ProcId = ProcId(24);
+
+/// TPC-C Delivery, one district per transaction.
+///
+/// "Oldest undelivered order" is located via the district's
+/// `next_deliv_o_id` cursor. Because the customer to credit is only known
+/// after reading that order, but our deadlock-free 2PL needs the whole
+/// lock set up front, the *client predicts* `(o_id, c_id)` with a
+/// reconnaissance read and the transaction validates the prediction,
+/// aborting (for a deterministic retry) if it went stale — the classic
+/// Calvin/OLLP technique for dependent transactions.
+///
+/// Params: `w:u32 d:u32 carrier:u32 delivery_d:u64 pred_o:u32 pred_c:u32`.
+pub struct DeliveryProc;
+
+impl Procedure for DeliveryProc {
+    fn id(&self) -> ProcId {
+        DELIVERY_PROC
+    }
+
+    fn name(&self) -> &'static str {
+        "tpcc-delivery"
+    }
+
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let _carrier = r.u32()?;
+        let _date = r.u64()?;
+        let _pred_o = r.u32()?;
+        let pred_c = r.u32()?;
+        Ok(LockRequest {
+            reads: vec![],
+            // The district X lock protects the order / new-order /
+            // order-line keys derived from the delivery cursor; the
+            // predicted customer must be locked explicitly.
+            writes: vec![keys::district(w, d), keys::customer(w, d, pred_c)],
+        })
+    }
+
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let carrier = r.u32()?;
+        let date = r.u64()?;
+        let pred_o = r.u32()?;
+        let pred_c = r.u32()?;
+
+        let d_key = keys::district(w, d);
+        let mut district = District::decode(
+            &ops.get(d_key)
+                .ok_or_else(|| AbortReason::Logic(format!("no district {w}/{d}")))?,
+        )?;
+        if district.next_deliv_o_id >= district.next_o_id {
+            return Err(AbortReason::Logic("nothing to deliver".into()));
+        }
+        let o_id = district.next_deliv_o_id;
+        if o_id != pred_o {
+            return Err(AbortReason::Logic(format!(
+                "stale prediction: o_id {o_id} != predicted {pred_o}"
+            )));
+        }
+        let o_key = keys::order(w, d, o_id);
+        let mut order = Order::decode(
+            &ops.get(o_key)
+                .ok_or_else(|| AbortReason::Logic(format!("missing order {o_id}")))?,
+        )?;
+        if order.c_id != pred_c {
+            return Err(AbortReason::Logic(format!(
+                "stale prediction: c_id {} != predicted {pred_c}",
+                order.c_id
+            )));
+        }
+
+        // Consume the NEW_ORDER row, stamp the carrier, deliver the lines.
+        ops.delete(keys::new_order(w, d, o_id));
+        order.carrier_id = carrier;
+        ops.put(o_key, &order.encode());
+        let mut total = 0u64;
+        for ol in 0..order.ol_cnt {
+            let ol_key = keys::order_line(w, d, o_id, ol);
+            let mut line = OrderLine::decode(
+                &ops.get(ol_key)
+                    .ok_or_else(|| AbortReason::Logic(format!("missing line {o_id}/{ol}")))?,
+            )?;
+            line.delivery_d = date;
+            total += line.amount_cents;
+            ops.put(ol_key, &line.encode());
+        }
+        let c_key = keys::customer(w, d, pred_c);
+        let mut customer = Customer::decode(
+            &ops.get(c_key)
+                .ok_or_else(|| AbortReason::Logic("missing customer".into()))?,
+        )?;
+        customer.balance_cents += total as i64;
+        customer.delivery_cnt += 1;
+        ops.put(c_key, &customer.encode());
+
+        district.next_deliv_o_id += 1;
+        ops.put(d_key, &district.encode());
+        Ok(())
+    }
+}
+
+/// TPC-C OrderStatus (read-only): a customer's balance plus their most
+/// recent order and its lines, found by scanning back from the district's
+/// order cursor (bounded, newest-first). Shared district lock serializes
+/// against NewOrder in the same district, so the derived order keys need
+/// no individual locks.
+///
+/// Params: `w:u32 d:u32 c:u32`.
+pub struct OrderStatusProc;
+
+/// How many most-recent orders OrderStatus scans for the customer.
+pub const ORDER_STATUS_SCAN: u32 = 20;
+
+impl Procedure for OrderStatusProc {
+    fn id(&self) -> ProcId {
+        ORDER_STATUS_PROC
+    }
+
+    fn name(&self) -> &'static str {
+        "tpcc-order-status"
+    }
+
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let c = r.u32()?;
+        Ok(LockRequest {
+            reads: vec![keys::district(w, d), keys::customer(w, d, c)],
+            writes: vec![],
+        })
+    }
+
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let c = r.u32()?;
+        let customer = Customer::decode(
+            &ops.get(keys::customer(w, d, c))
+                .ok_or_else(|| AbortReason::Logic("missing customer".into()))?,
+        )?;
+        std::hint::black_box(customer.balance_cents);
+        let district = District::decode(
+            &ops.get(keys::district(w, d))
+                .ok_or_else(|| AbortReason::Logic("missing district".into()))?,
+        )?;
+        let newest = district.next_o_id;
+        let oldest = newest.saturating_sub(ORDER_STATUS_SCAN).max(1);
+        let mut checksum = 0u64;
+        for o_id in (oldest..newest).rev() {
+            let Some(order_bytes) = ops.get(keys::order(w, d, o_id)) else {
+                continue;
+            };
+            let order = Order::decode(&order_bytes)?;
+            if order.c_id != c {
+                continue;
+            }
+            for ol in 0..order.ol_cnt {
+                if let Some(line) = ops.get(keys::order_line(w, d, o_id, ol)) {
+                    checksum ^= OrderLine::decode(&line)?.amount_cents;
+                }
+            }
+            break;
+        }
+        std::hint::black_box(checksum);
+        Ok(())
+    }
+}
+
+/// TPC-C StockLevel (read-only): count the items from the district's last
+/// 20 orders whose stock quantity is below a threshold. Per the TPC-C
+/// spec (clause 2.8.2.3) this transaction may run at weaker isolation;
+/// stock rows are read without locks (reads are still individually
+/// atomic).
+///
+/// Params: `w:u32 d:u32 threshold:u32`.
+pub struct StockLevelProc;
+
+impl Procedure for StockLevelProc {
+    fn id(&self) -> ProcId {
+        STOCK_LEVEL_PROC
+    }
+
+    fn name(&self) -> &'static str {
+        "tpcc-stock-level"
+    }
+
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        Ok(LockRequest {
+            reads: vec![keys::district(w, d)],
+            writes: vec![],
+        })
+    }
+
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(p);
+        let w = r.u32()?;
+        let d = r.u32()?;
+        let threshold = r.u32()?;
+        let district = District::decode(
+            &ops.get(keys::district(w, d))
+                .ok_or_else(|| AbortReason::Logic("missing district".into()))?,
+        )?;
+        let newest = district.next_o_id;
+        let oldest = newest.saturating_sub(20).max(1);
+        let mut low = 0u32;
+        let mut seen = std::collections::HashSet::new();
+        for o_id in oldest..newest {
+            let Some(order_bytes) = ops.get(keys::order(w, d, o_id)) else {
+                continue;
+            };
+            let order = Order::decode(&order_bytes)?;
+            for ol in 0..order.ol_cnt {
+                let Some(line_bytes) = ops.get(keys::order_line(w, d, o_id, ol)) else {
+                    continue;
+                };
+                let line = OrderLine::decode(&line_bytes)?;
+                if !seen.insert(line.i_id) {
+                    continue;
+                }
+                if let Some(stock_bytes) = ops.get(keys::stock(w, line.i_id)) {
+                    if Stock::decode(&stock_bytes)?.quantity < threshold {
+                        low += 1;
+                    }
+                }
+            }
+        }
+        std::hint::black_box(low);
+        Ok(())
+    }
+}
+
+/// Builds Delivery params.
+pub fn delivery_params(
+    w: u32,
+    d: u32,
+    carrier: u32,
+    date: u64,
+    pred_o: u32,
+    pred_c: u32,
+) -> std::sync::Arc<[u8]> {
+    Writer::new()
+        .u32(w)
+        .u32(d)
+        .u32(carrier)
+        .u64(date)
+        .u32(pred_o)
+        .u32(pred_c)
+        .finish()
+}
+
+/// Builds OrderStatus params.
+pub fn order_status_params(w: u32, d: u32, c: u32) -> std::sync::Arc<[u8]> {
+    Writer::new().u32(w).u32(d).u32(c).finish()
+}
+
+/// Builds StockLevel params.
+pub fn stock_level_params(w: u32, d: u32, threshold: u32) -> std::sync::Arc<[u8]> {
+    Writer::new().u32(w).u32(d).u32(threshold).finish()
+}

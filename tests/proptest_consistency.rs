@@ -1,0 +1,204 @@
+//! Property-based tests over the full stack.
+//!
+//! Strategy: drive a single-worker `Database` with arbitrary op sequences
+//! (bump/insert/delete/checkpoint markers), mirror them into a model
+//! `BTreeMap`, and assert (a) live state equals the model at every
+//! point, (b) every checkpoint equals the model state captured at its
+//! trigger, and (c) checkpoint-only recovery reproduces that state. A
+//! single worker makes the commit order equal the submission order, so
+//! the model is exact.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use calc_db::core::calc::CalcStrategy;
+use calc_db::core::strategy::CheckpointStrategy;
+use calc_db::engine::{Database, EngineConfig, StrategyKind, TxnOutcome};
+use calc_db::recovery;
+use calc_db::storage::dual::StoreConfig;
+use calc_db::txn::commitlog::CommitLog;
+use calc_db::txn::proc::{
+    params, AbortReason, LockRequest, ProcId, ProcRegistry, Procedure, TxnOps,
+};
+use calc_db::Key;
+
+const SET: ProcId = ProcId(1);
+const DELETE: ProcId = ProcId(2);
+
+struct SetProc;
+impl Procedure for SetProc {
+    fn id(&self) -> ProcId {
+        SET
+    }
+    fn name(&self) -> &'static str {
+        "set"
+    }
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = params::Reader::new(p);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = params::Reader::new(p);
+        let key = Key(r.u64()?);
+        let val = r.bytes()?;
+        if ops.get(key).is_some() {
+            ops.put(key, val);
+        } else {
+            ops.insert(key, val);
+        }
+        Ok(())
+    }
+}
+
+struct DeleteProc;
+impl Procedure for DeleteProc {
+    fn id(&self) -> ProcId {
+        DELETE
+    }
+    fn name(&self) -> &'static str {
+        "delete"
+    }
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = params::Reader::new(p);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = params::Reader::new(p);
+        let key = Key(r.u64()?);
+        ops.delete(key);
+        Ok(())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Set(u64, Vec<u8>),
+    Delete(u64),
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..24, proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(k, v)| Op::Set(k, v)),
+        2 => (0u64..24).prop_map(Op::Delete),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+fn registry() -> ProcRegistry {
+    let mut r = ProcRegistry::new();
+    r.register(Arc::new(SetProc));
+    r.register(Arc::new(DeleteProc));
+    r
+}
+
+fn run_scenario(kind: StrategyKind, ops: &[Op], case: &str) {
+    let dir = std::env::temp_dir().join(format!(
+        "calc-proptest-{}-{}-{case}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = EngineConfig::new(kind, 4096, 64, dir);
+    config.workers = 1; // commit order == submission order → exact model
+    let db = Database::open(config, registry()).unwrap();
+    db.finalize_load(kind.is_partial()).unwrap();
+
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut snapshots: Vec<BTreeMap<u64, Vec<u8>>> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::Set(k, v) => {
+                let p = params::Writer::new().u64(*k).bytes(v).finish();
+                assert!(matches!(db.execute(SET, p), TxnOutcome::Committed(_)));
+                model.insert(*k, v.clone());
+            }
+            Op::Delete(k) => {
+                let p = params::Writer::new().u64(*k).finish();
+                assert!(matches!(db.execute(DELETE, p), TxnOutcome::Committed(_)));
+                model.remove(k);
+            }
+            Op::Checkpoint => {
+                db.checkpoint_now().unwrap();
+                snapshots.push(model.clone());
+            }
+        }
+    }
+
+    // (a) Live state equals the model.
+    for (k, v) in &model {
+        assert_eq!(
+            db.get(Key(*k)).as_deref(),
+            Some(v.as_slice()),
+            "live state diverged at key {k}"
+        );
+    }
+    assert_eq!(db.record_count(), model.len());
+
+    // (b+c) Recovery of the newest chain equals the state at the last
+    // checkpoint.
+    if let Some(expected) = snapshots.last() {
+        let fresh = CalcStrategy::full(
+            StoreConfig::for_records(4096, 64),
+            Arc::new(CommitLog::new(false)),
+        );
+        let outcome = recovery::recover_checkpoint_only(db.checkpoint_dir(), &fresh).unwrap();
+        assert_eq!(
+            outcome.loaded_records as usize,
+            expected.len(),
+            "recovered record count"
+        );
+        for (k, v) in expected {
+            assert_eq!(
+                fresh.get(Key(*k)).as_deref(),
+                Some(v.as_slice()),
+                "recovered state diverged at key {k}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn calc_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        run_scenario(StrategyKind::Calc, &ops, "calc");
+    }
+
+    #[test]
+    fn pcalc_matches_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        run_scenario(StrategyKind::PCalc, &ops, "pcalc");
+    }
+
+    #[test]
+    fn zigzag_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_scenario(StrategyKind::Zigzag, &ops, "zigzag");
+    }
+
+    #[test]
+    fn pipp_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_scenario(StrategyKind::PIpp, &ops, "pipp");
+    }
+
+    #[test]
+    fn pnaive_matches_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        run_scenario(StrategyKind::PNaive, &ops, "pnaive");
+    }
+}
