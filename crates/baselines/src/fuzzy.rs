@@ -20,7 +20,7 @@
 //! consistent snapshot" — and produces full checkpoints by merging dirty
 //! records into it (2× memory).
 
-use std::io::{self, Write};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -109,15 +109,13 @@ impl FuzzyStrategy {
         dirty: &[SlotId],
     ) -> io::Result<()> {
         let path = dir.path().join(format!(".dirtytab-{id:010}"));
-        let file = std::fs::File::create(&path)?;
-        let mut out = std::io::BufWriter::new(file);
+        let mut out = dir.vfs().create(&path)?;
         let mut bytes = 0usize;
         for slot in dirty {
             out.write_all(&slot.to_le_bytes())?;
             bytes += 4;
         }
-        out.flush()?;
-        out.get_ref().sync_all()?;
+        out.sync()?;
         dir.throttle().consume(bytes);
         Ok(())
     }

@@ -21,7 +21,7 @@
 //! harness quantify exactly why the paper prefers precise partial
 //! multi-versioning (CALC) for update-heavy main-memory workloads.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,6 +79,33 @@ impl Chain {
 /// One shard of the version-chain map.
 type ChainShard = RwLock<HashMap<u64, Mutex<Chain>>>;
 
+/// Tracks the highest sequence `S` such that every commit with
+/// `seq <= S` has fully installed its versions into the chains.
+///
+/// The engine assigns the commit sequence (`CommitLog::append_commit`)
+/// before the strategy's `on_commit` publishes the versions, so at any
+/// instant `log.last_seq()` may name commits whose versions are not yet
+/// visible. A checkpoint watermark taken from `last_seq()` would then
+/// silently miss those commits. Installs can complete out of order
+/// across workers; gaps park in `out_of_order` until contiguous.
+struct InstalledPrefix {
+    prefix: u64,
+    out_of_order: BTreeSet<u64>,
+}
+
+impl InstalledPrefix {
+    fn install(&mut self, seq: u64) {
+        if seq == self.prefix + 1 {
+            self.prefix = seq;
+            while self.out_of_order.remove(&(self.prefix + 1)) {
+                self.prefix += 1;
+            }
+        } else if seq > self.prefix {
+            self.out_of_order.insert(seq);
+        }
+    }
+}
+
 /// Full-MVCC checkpointing. See module docs.
 pub struct MvccStrategy {
     shards: Box<[ChainShard]>,
@@ -90,6 +117,7 @@ pub struct MvccStrategy {
     next_id: AtomicU64,
     version_mem: MemCounter,
     live_records: AtomicU64,
+    installed: Mutex<InstalledPrefix>,
 }
 
 impl MvccStrategy {
@@ -97,6 +125,7 @@ impl MvccStrategy {
     /// MVCC has no fixed slot arena; memory scales with versions.
     pub fn new(config: StoreConfig, log: Arc<CommitLog>) -> Self {
         let n_shards = config.shards.max(1).next_power_of_two();
+        let base_seq = log.last_seq().0;
         MvccStrategy {
             shards: (0..n_shards)
                 .map(|_| RwLock::new(HashMap::new()))
@@ -107,6 +136,10 @@ impl MvccStrategy {
             next_id: AtomicU64::new(0),
             version_mem: MemCounter::new(),
             live_records: AtomicU64::new(0),
+            installed: Mutex::new(InstalledPrefix {
+                prefix: base_seq,
+                out_of_order: BTreeSet::new(),
+            }),
         }
     }
 
@@ -301,6 +334,9 @@ impl CheckpointStrategy for MvccStrategy {
                 }
             });
         }
+        // Only now is this commit's state fully visible; advance the
+        // watermark frontier checkpoints are allowed to claim.
+        self.installed.lock().install(seq.0);
     }
 
     fn on_abort(&self, token: &mut TxnToken, _undo: &[UndoRec]) {
@@ -325,7 +361,11 @@ impl CheckpointStrategy for MvccStrategy {
         // The §2.1 promise: a virtual point of consistency for free.
         let start = Instant::now();
         let id = self.next_id.fetch_add(1, Ordering::AcqRel);
-        let watermark = self.log.last_seq();
+        // Not `log.last_seq()`: a worker between sequence assignment and
+        // version installation would make that watermark a lie. The
+        // installed prefix is the highest seq whose effects (and all
+        // predecessors') are guaranteed visible to the scan below.
+        let watermark = CommitSeq(self.installed.lock().prefix);
         let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
         for shard in self.shards.iter() {
             // Collect keys first so the shard lock is not held across

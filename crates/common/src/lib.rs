@@ -20,6 +20,10 @@
 //! * [`types`] — `Key`, record values, and small shared identifiers.
 //! * [`rng`] — a tiny deterministic splitmix64 generator used where
 //!   reproducibility across runs matters more than statistical quality.
+//! * [`vfs`] — the filesystem trait everything durable is written
+//!   through, with the [`vfs::OsVfs`] passthrough.
+//! * [`simfs`] — a deterministic fault-injecting in-memory filesystem
+//!   ([`simfs::SimVfs`]) for crash-recovery testing.
 
 #![warn(missing_docs)]
 
@@ -29,12 +33,16 @@ pub mod crc;
 pub mod hist;
 pub mod phase;
 pub mod rng;
+pub mod simfs;
 pub mod striped;
 pub mod types;
+pub mod vfs;
 
 pub use bitvec::{AtomicBitVec, PolarityBitVec};
 pub use bloom::BloomFilter;
 pub use hist::Histogram;
 pub use phase::Phase;
+pub use simfs::{DirCrashMode, FaultKind, FaultSpec, OpCounts, SimVfs};
 pub use striped::StripedMutex;
 pub use types::{CommitSeq, Key, TxnId, Value};
+pub use vfs::{OsVfs, Vfs, VfsFile, VfsRead};

@@ -1,0 +1,171 @@
+//! A minimal virtual filesystem boundary for everything the engine
+//! persists: checkpoint files, the command log, and the directory
+//! operations (rename, remove, fsync) their durability arguments lean on.
+//!
+//! Production code uses [`OsVfs`], a passthrough to `std::fs` that adds
+//! the one primitive std lacks: [`Vfs::sync_dir`], fsyncing a *directory*
+//! so that renames and unlinks inside it are durable — POSIX makes a
+//! `rename` atomic but not persistent until the parent directory's entry
+//! array reaches disk.
+//!
+//! Tests use [`crate::simfs::SimVfs`], an in-memory filesystem that
+//! models exactly which bytes and directory entries would survive a
+//! crash at any instant, and can inject seeded faults (torn writes,
+//! dropped fsyncs, crashes around rename) at a chosen operation index.
+
+use std::fmt::Debug;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// A writable file handle. Writes are buffered/volatile until
+/// [`VfsFile::sync`]; only synced bytes are guaranteed to survive a crash.
+pub trait VfsFile: Send {
+    /// Appends bytes (files are written append-only in this system).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Pushes buffered bytes to the file (OS page cache); NOT durable.
+    fn flush(&mut self) -> io::Result<()>;
+    /// Makes every byte written so far durable (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A readable, seekable file handle.
+pub trait VfsRead: Read + Seek + Send {}
+impl<T: Read + Seek + Send> VfsRead for T {}
+
+/// The filesystem operations the engine's durability story is built on.
+pub trait Vfs: Send + Sync + Debug {
+    /// Creates (truncating) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens a file for reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRead>>;
+    /// Atomically renames `from` to `to` (same directory). Durable only
+    /// after [`Vfs::sync_dir`] on the parent.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Unlinks a file. Durable only after [`Vfs::sync_dir`] on the parent.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Lists the files in a directory (full paths).
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+    /// Creates a directory and its ancestors.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Fsyncs a directory, making completed renames/creates/removes of
+    /// entries inside it durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Current size of a file in bytes.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// Passthrough [`Vfs`] over the real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsVfs;
+
+struct OsFile(BufWriter<File>);
+
+impl VfsFile for OsFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.flush()?;
+        self.0.get_ref().sync_all()
+    }
+}
+
+impl Vfs for OsVfs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(OsFile(BufWriter::with_capacity(
+            1 << 20,
+            File::create(path)?,
+        ))))
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsRead>> {
+        Ok(Box::new(File::open(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            out.push(entry?.path());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    #[cfg(unix)]
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        // Directory handles are not fsync-able on this platform; renames
+        // are as durable as the OS makes them.
+        Ok(())
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::SeekFrom;
+
+    fn tmpdir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "calc-vfs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn os_vfs_roundtrip() {
+        let vfs = OsVfs;
+        let d = tmpdir();
+        let tmp = d.join(".tmp-file");
+        let fin = d.join("file");
+        {
+            let mut f = vfs.create(&tmp).unwrap();
+            f.write_all(b"hello ").unwrap();
+            f.write_all(b"world").unwrap();
+            f.sync().unwrap();
+        }
+        vfs.rename(&tmp, &fin).unwrap();
+        vfs.sync_dir(&d).unwrap();
+        assert_eq!(vfs.len(&fin).unwrap(), 11);
+        let mut r = vfs.open_read(&fin).unwrap();
+        let mut buf = String::new();
+        r.read_to_string(&mut buf).unwrap();
+        assert_eq!(buf, "hello world");
+        r.seek(SeekFrom::Start(6)).unwrap();
+        let mut tail = String::new();
+        r.read_to_string(&mut tail).unwrap();
+        assert_eq!(tail, "world");
+        assert!(vfs.read_dir(&d).unwrap().contains(&fin));
+        vfs.remove_file(&fin).unwrap();
+        assert!(vfs.len(&fin).is_err());
+    }
+}

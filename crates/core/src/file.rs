@@ -19,13 +19,13 @@
 //! consistency). Within one file, a tombstone precedes any re-insertion of
 //! the same key, so sequential replay (last event wins) is correct.
 
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use calc_common::crc::Crc32;
 use calc_common::types::{CommitSeq, Key, Value};
+use calc_common::vfs::{OsVfs, Vfs, VfsFile, VfsRead};
 
 use crate::throttle::Throttle;
 
@@ -100,7 +100,7 @@ impl RecordEntry {
 /// seal the footer; dropping without finishing leaves an invalid file, as
 /// a crash would.
 pub struct CheckpointWriter {
-    out: BufWriter<File>,
+    out: Box<dyn VfsFile>,
     path: PathBuf,
     crc: Crc32,
     count: u64,
@@ -115,7 +115,7 @@ pub struct CheckpointWriter {
 const CHARGE_CHUNK: usize = 256 * 1024;
 
 impl CheckpointWriter {
-    /// Creates a writer at `path` with the given identity.
+    /// Creates a writer at `path` on the real filesystem.
     pub fn create(
         path: &Path,
         kind: CheckpointKind,
@@ -123,9 +123,21 @@ impl CheckpointWriter {
         watermark: CommitSeq,
         throttle: Arc<Throttle>,
     ) -> io::Result<Self> {
-        let file = File::create(path)?;
+        Self::create_with_vfs(&OsVfs, path, kind, id, watermark, throttle)
+    }
+
+    /// Creates a writer at `path` through an arbitrary [`Vfs`].
+    pub fn create_with_vfs(
+        vfs: &dyn Vfs,
+        path: &Path,
+        kind: CheckpointKind,
+        id: u64,
+        watermark: CommitSeq,
+        throttle: Arc<Throttle>,
+    ) -> io::Result<Self> {
+        let file = vfs.create(path)?;
         let mut w = CheckpointWriter {
-            out: BufWriter::with_capacity(1 << 20, file),
+            out: file,
             path: path.to_path_buf(),
             crc: Crc32::new(),
             count: 0,
@@ -200,8 +212,7 @@ impl CheckpointWriter {
         self.pending_charge += footer.len();
         self.throttle.consume(self.pending_charge);
         self.pending_charge = 0;
-        self.out.flush()?;
-        self.out.get_ref().sync_all()?;
+        self.out.sync()?;
         self.finished = true;
         Ok((self.count, self.bytes))
     }
@@ -229,23 +240,36 @@ pub struct FileHeader {
 }
 
 /// Streaming, CRC-validating checkpoint reader.
-#[derive(Debug)]
 pub struct CheckpointReader {
-    input: BufReader<File>,
+    input: BufReader<Box<dyn VfsRead>>,
     header: FileHeader,
     remaining: u64,
     crc: Crc32,
     expected_crc: u32,
 }
 
+impl std::fmt::Debug for CheckpointReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointReader")
+            .field("header", &self.header)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
 impl CheckpointReader {
-    /// Opens and validates a checkpoint file: header magic/version, footer
-    /// magic, and record count. The CRC is verified incrementally; it is
-    /// checked when the last record is consumed (or via
-    /// [`CheckpointReader::read_all`]).
+    /// Opens a checkpoint file on the real filesystem.
     pub fn open(path: &Path) -> io::Result<Self> {
-        let mut file = File::open(path)?;
-        let len = file.metadata()?.len();
+        Self::open_with_vfs(&OsVfs, path)
+    }
+
+    /// Opens and validates a checkpoint file through an arbitrary
+    /// [`Vfs`]: header magic/version, footer magic, and record count. The
+    /// CRC is verified incrementally; it is checked when the last record
+    /// is consumed (or via [`CheckpointReader::read_all`]).
+    pub fn open_with_vfs(vfs: &dyn Vfs, path: &Path) -> io::Result<Self> {
+        let len = vfs.len(path)?;
+        let mut file = vfs.open_read(path)?;
         if len < (HEADER_LEN + FOOTER_LEN) as u64 {
             return Err(invalid("file too short for header + footer"));
         }
@@ -320,6 +344,14 @@ impl CheckpointReader {
             }
             other => Err(invalid(&format!("bad record flag {other}"))),
         }
+    }
+
+    /// Consumes every record without materializing values, verifying the
+    /// CRC. A file whose footer survived but whose body was corrupted or
+    /// torn fails here, not at load time.
+    pub fn verify(mut self) -> io::Result<FileHeader> {
+        while self.next_record()?.is_some() {}
+        Ok(self.header)
     }
 
     /// Reads every record, verifying the CRC.

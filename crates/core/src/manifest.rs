@@ -7,7 +7,7 @@
 //! the rare torn-write case via the footer + CRC).
 //!
 //! Validity is determined by scanning, not by a separate manifest file:
-//! every `.calc` file whose header and footer validate is live. Garbage
+//! every `.calc` file whose header, footer, and body CRC validate is live. Garbage
 //! collection (after the merger collapses partials, §2.3.1) deletes files
 //! only once their replacement is durably published — "old checkpoints are
 //! discarded only once they have been collapsed."
@@ -17,6 +17,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use calc_common::types::CommitSeq;
+use calc_common::vfs::{OsVfs, Vfs};
 
 use crate::file::{CheckpointKind, CheckpointReader, CheckpointWriter};
 use crate::throttle::Throttle;
@@ -42,6 +43,7 @@ pub struct CheckpointMeta {
 pub struct CheckpointDir {
     dir: PathBuf,
     throttle: Arc<Throttle>,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// An in-flight checkpoint: a [`CheckpointWriter`] plus the publication
@@ -49,6 +51,8 @@ pub struct CheckpointDir {
 pub struct PendingCheckpoint {
     writer: CheckpointWriter,
     final_path: PathBuf,
+    dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl PendingCheckpoint {
@@ -59,10 +63,18 @@ impl PendingCheckpoint {
 
     /// Seals and atomically publishes the checkpoint. Returns
     /// `(records, bytes)`.
+    ///
+    /// Publication is a three-step durability chain: `finish()` fsyncs
+    /// the file's bytes, the rename makes the final name visible, and
+    /// the parent-directory fsync makes the rename itself durable. A
+    /// rename without the directory fsync can be lost wholesale on power
+    /// failure, un-publishing a checkpoint the engine already reported
+    /// durable (and may already have GC'd predecessors of).
     pub fn publish(self) -> io::Result<(u64, u64)> {
         let tmp = self.writer.path().to_path_buf();
         let stats = self.writer.finish()?;
-        std::fs::rename(&tmp, &self.final_path)?;
+        self.vfs.rename(&tmp, &self.final_path)?;
+        self.vfs.sync_dir(&self.dir)?;
         Ok(stats)
     }
 
@@ -70,18 +82,35 @@ impl PendingCheckpoint {
     pub fn abandon(self) {
         let tmp = self.writer.path().to_path_buf();
         drop(self.writer);
-        let _ = std::fs::remove_file(tmp);
+        let _ = self.vfs.remove_file(&tmp);
     }
 }
 
 impl CheckpointDir {
-    /// Opens (creating if needed) a checkpoint directory.
+    /// Opens (creating if needed) a checkpoint directory on the real
+    /// filesystem.
     pub fn open(dir: &Path, throttle: Arc<Throttle>) -> io::Result<Self> {
-        std::fs::create_dir_all(dir)?;
+        Self::open_with_vfs(dir, throttle, Arc::new(OsVfs))
+    }
+
+    /// Opens (creating if needed) a checkpoint directory through an
+    /// arbitrary [`Vfs`].
+    pub fn open_with_vfs(
+        dir: &Path,
+        throttle: Arc<Throttle>,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<Self> {
+        vfs.create_dir_all(dir)?;
         Ok(CheckpointDir {
             dir: dir.to_path_buf(),
             throttle,
+            vfs,
         })
+    }
+
+    /// The filesystem this directory lives on.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 
     /// The directory path.
@@ -109,9 +138,20 @@ impl CheckpointDir {
     ) -> io::Result<PendingCheckpoint> {
         let final_path = self.dir.join(Self::file_name(id, kind));
         let tmp_path = self.dir.join(format!(".tmp-{}", Self::file_name(id, kind)));
-        let writer =
-            CheckpointWriter::create(&tmp_path, kind, id, watermark, self.throttle.clone())?;
-        Ok(PendingCheckpoint { writer, final_path })
+        let writer = CheckpointWriter::create_with_vfs(
+            self.vfs.as_ref(),
+            &tmp_path,
+            kind,
+            id,
+            watermark,
+            self.throttle.clone(),
+        )?;
+        Ok(PendingCheckpoint {
+            writer,
+            final_path,
+            dir: self.dir.clone(),
+            vfs: self.vfs.clone(),
+        })
     }
 
     /// Scans the directory for valid published checkpoints, ascending by
@@ -119,25 +159,30 @@ impl CheckpointDir {
     /// full supersedes the same-id partial).
     pub fn scan(&self) -> io::Result<Vec<CheckpointMeta>> {
         let mut out = Vec::new();
-        for entry in std::fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        for path in self.vfs.read_dir(&self.dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if !name.starts_with("ckpt-") || !name.ends_with(".calc") {
                 continue;
             }
-            let path = entry.path();
-            let reader = match CheckpointReader::open(&path) {
+            let reader = match CheckpointReader::open_with_vfs(self.vfs.as_ref(), &path) {
                 Ok(r) => r,
                 Err(_) => continue, // crashed mid-capture; ignore
             };
-            let h = reader.header();
+            // Footer magic alone is not proof of integrity: a bit flip or
+            // torn write in the body leaves the footer intact, so validate
+            // the full CRC before treating the file as live.
+            let h = match reader.verify() {
+                Ok(h) => h,
+                Err(_) => continue, // corrupt body; ignore
+            };
             out.push(CheckpointMeta {
                 id: h.id,
                 kind: h.kind,
                 watermark: h.watermark,
                 records: h.records,
-                bytes: entry.metadata()?.len(),
+                bytes: self.vfs.len(&path)?,
                 path,
             });
         }
@@ -171,9 +216,15 @@ impl CheckpointDir {
         let mut removed = 0;
         for meta in self.scan()? {
             if meta.id <= through_id && meta.path != keep {
-                std::fs::remove_file(&meta.path)?;
+                self.vfs.remove_file(&meta.path)?;
                 removed += 1;
             }
+        }
+        if removed > 0 {
+            // Make the unlinks durable before reporting GC complete, so a
+            // later crash cannot resurrect a superseded checkpoint that
+            // recovery would then prefer over the replacement.
+            self.vfs.sync_dir(&self.dir)?;
         }
         Ok(removed)
     }

@@ -18,6 +18,7 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use calc_common::types::{Key, Value};
+use calc_common::vfs::{OsVfs, Vfs};
 
 use crate::file::{CheckpointKind, CheckpointReader, RecordEntry};
 use crate::manifest::{CheckpointDir, CheckpointMeta};
@@ -58,12 +59,21 @@ pub fn materialize_chain(
     full: &CheckpointMeta,
     partials: &[CheckpointMeta],
 ) -> io::Result<BTreeMap<Key, Value>> {
+    materialize_chain_with_vfs(&OsVfs, full, partials)
+}
+
+/// [`materialize_chain`] reading through an arbitrary [`Vfs`].
+pub fn materialize_chain_with_vfs(
+    vfs: &dyn Vfs,
+    full: &CheckpointMeta,
+    partials: &[CheckpointMeta],
+) -> io::Result<BTreeMap<Key, Value>> {
     let mut state = BTreeMap::new();
-    for entry in CheckpointReader::open(&full.path)?.read_all()? {
+    for entry in CheckpointReader::open_with_vfs(vfs, &full.path)?.read_all()? {
         apply_entry(&mut state, entry);
     }
     for p in partials {
-        for entry in CheckpointReader::open(&p.path)?.read_all()? {
+        for entry in CheckpointReader::open_with_vfs(vfs, &p.path)?.read_all()? {
             apply_entry(&mut state, entry);
         }
     }
@@ -82,7 +92,7 @@ pub fn collapse(dir: &CheckpointDir) -> io::Result<Option<MergeStats>> {
     if partials.is_empty() {
         return Ok(None);
     }
-    let state = materialize_chain(&full, &partials)?;
+    let state = materialize_chain_with_vfs(dir.vfs().as_ref(), &full, &partials)?;
     let last = partials.last().expect("nonempty");
     let mut pending = dir.begin(CheckpointKind::Full, last.id, last.watermark)?;
     for (key, value) in &state {

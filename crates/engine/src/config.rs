@@ -4,6 +4,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use calc_baselines::{FuzzyStrategy, IppStrategy, MvccStrategy, NaiveStrategy, ZigzagStrategy};
+use calc_common::vfs::{OsVfs, Vfs};
 use calc_core::calc::CalcStrategy;
 use calc_core::strategy::CheckpointStrategy;
 use calc_storage::dual::StoreConfig;
@@ -180,6 +181,10 @@ pub struct EngineConfig {
     /// lose the unflushed tail, bounded by the group-commit interval);
     /// recovery replays the log on top of the newest checkpoint.
     pub command_log_path: Option<PathBuf>,
+    /// The filesystem all durable state is written through. Defaults to
+    /// the real one ([`OsVfs`]); crash-simulation tests substitute a
+    /// fault-injecting [`calc_common::simfs::SimVfs`].
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl EngineConfig {
@@ -199,6 +204,7 @@ impl EngineConfig {
             base_checkpoint: strategy.is_partial(),
             merge_batch: None,
             command_log_path: None,
+            vfs: Arc::new(OsVfs),
         }
     }
 }

@@ -100,14 +100,15 @@ impl Database {
         } else {
             Throttle::new(config.disk_bytes_per_sec)
         };
-        let dir = CheckpointDir::open(&config.checkpoint_dir, Arc::new(throttle))?;
+        let dir =
+            CheckpointDir::open_with_vfs(&config.checkpoint_dir, Arc::new(throttle), config.vfs.clone())?;
         // Durable command logging: a dedicated thread drains commit
         // records and group-commits them (append many, fsync once) — the
         // paper's §1 "logging of transactional input is generally far
         // lighter weight than full ARIES logging".
         let (cmdlog_tx, cmdlogger) = match &config.command_log_path {
             Some(path) => {
-                let mut writer = CommandLogWriter::create(path)?;
+                let mut writer = CommandLogWriter::create_with_vfs(config.vfs.as_ref(), path)?;
                 let (tx, rx) = unbounded::<CommitRecord>();
                 let handle = std::thread::Builder::new()
                     .name("calc-cmdlog".into())
@@ -257,12 +258,13 @@ impl Database {
                     // moments of sub-peak load".
                     let dir_path = self.inner.dir.path().to_path_buf();
                     let throttle = self.inner.dir.throttle().clone();
+                    let vfs = self.inner.dir.vfs().clone();
                     let serial = self.inner.merge_serial.clone();
                     let handle = std::thread::Builder::new()
                         .name("calc-merger".into())
                         .spawn(move || {
                             let _g = serial.lock();
-                            if let Ok(dir) = CheckpointDir::open(&dir_path, throttle) {
+                            if let Ok(dir) = CheckpointDir::open_with_vfs(&dir_path, throttle, vfs) {
                                 let _ = collapse(&dir);
                             }
                         })
@@ -315,29 +317,38 @@ impl Database {
         &self,
         commands: &[CommitRecord],
     ) -> Result<calc_recovery::RecoveryOutcome, calc_recovery::RecoveryError> {
+        // Resume the id/seq spaces BEFORE replaying: replay stamps each
+        // commit with the strategy's current phase stamp, and partial
+        // strategies dirty-mark that stamp's checkpoint interval. The next
+        // partial checkpoint (id max_id+1) advances its watermark past the
+        // replayed commits, so their marks must land in ITS interval — if
+        // the log still read cycle 0 here, the replayed writes would be
+        // invisible to it and lost on the next crash.
+        let metas = self
+            .inner
+            .dir
+            .scan()
+            .map_err(calc_recovery::RecoveryError::Io)?;
+        let max_id = metas.iter().map(|m| m.id).max().unwrap_or(0);
+        let chain_watermark = metas
+            .iter()
+            .map(|m| m.watermark)
+            .max()
+            .unwrap_or(CommitSeq::ZERO);
+        let max_seq = commands
+            .iter()
+            .map(|c| c.seq)
+            .max()
+            .unwrap_or(chain_watermark)
+            .max(chain_watermark);
+        self.inner.log.advance_to(max_seq, max_id + 1);
+        self.inner.strategy.resume_checkpoint_ids(max_id + 1);
         let outcome = calc_recovery::recover(
             &self.inner.dir,
             self.inner.strategy.as_ref(),
             &self.inner.registry,
             commands,
         )?;
-        let max_seq = commands
-            .iter()
-            .map(|c| c.seq)
-            .max()
-            .unwrap_or(outcome.watermark)
-            .max(outcome.watermark);
-        let max_id = self
-            .inner
-            .dir
-            .scan()
-            .map_err(calc_recovery::RecoveryError::Io)?
-            .iter()
-            .map(|m| m.id)
-            .max()
-            .unwrap_or(0);
-        self.inner.log.advance_to(max_seq, max_id + 1);
-        self.inner.strategy.resume_checkpoint_ids(max_id + 1);
         Ok(outcome)
     }
 
@@ -404,10 +415,6 @@ fn worker_loop(inner: &Inner, rx: &Receiver<Request>) {
         // hook, so a quiesce observes no in-flight commit work.
         let _admission = inner.gate.read();
         let outcome = execute_one(inner, &req);
-        match &outcome {
-            TxnOutcome::Committed(_) => inner.metrics.record_commit(req.submitted.elapsed()),
-            TxnOutcome::Aborted(_) => inner.metrics.record_abort(),
-        }
         if let Some(reply) = req.reply {
             let _ = reply.send(outcome);
         }
@@ -443,18 +450,26 @@ fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
     let outcome = match (result, failed) {
         (Ok(()), None) => {
             let txn_id = TxnId(inner.txn_counter.fetch_add(1, Ordering::Relaxed));
-            let (seq, stamp) = inner
-                .log
-                .append_commit(txn_id, req.proc, req.params.clone());
+            // Sequence assignment and the durable-log enqueue must be one
+            // atomic step: otherwise two workers can hand the logger
+            // records out of seq order, and deterministic replay (which
+            // consumes the log front to back) would reorder commits.
+            let (seq, stamp) = {
+                let cmdlog = inner.cmdlog_tx.lock();
+                let (seq, stamp) = inner
+                    .log
+                    .append_commit(txn_id, req.proc, req.params.clone());
+                if let Some(tx) = cmdlog.as_ref() {
+                    let _ = tx.send(CommitRecord {
+                        seq,
+                        txn: txn_id,
+                        proc: req.proc,
+                        params: req.params.clone(),
+                    });
+                }
+                (seq, stamp)
+            };
             inner.strategy.on_commit(&mut token, seq, stamp);
-            if let Some(tx) = inner.cmdlog_tx.lock().as_ref() {
-                let _ = tx.send(CommitRecord {
-                    seq,
-                    txn: txn_id,
-                    proc: req.proc,
-                    params: req.params.clone(),
-                });
-            }
             TxnOutcome::Committed(seq)
         }
         (Err(e), _) | (Ok(()), Some(e)) => {
@@ -463,6 +478,14 @@ fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
             TxnOutcome::Aborted(e)
         }
     };
+    // Record metrics before releasing locks: a later transaction on the
+    // same keys must observe this one's commit as counted (tests and the
+    // benchmark harness use a synchronous same-key marker as a drain
+    // barrier, which is only sound with this ordering).
+    match &outcome {
+        TxnOutcome::Committed(_) => inner.metrics.record_commit(req.submitted.elapsed()),
+        TxnOutcome::Aborted(_) => inner.metrics.record_abort(),
+    }
     drop(guard);
     inner.strategy.txn_end(token);
     outcome
@@ -639,17 +662,26 @@ mod tests {
 
     #[test]
     fn concurrent_submissions_all_commit() {
-        let db = Arc::new(db(StrategyKind::Calc, "concurrent"));
+        let db = db(StrategyKind::Calc, "concurrent");
         for i in 0..1000u64 {
             db.submit(ProcId(1), add_params(i % 10, 1, u64::MAX));
         }
-        // Synchronous marker per key ensures the queue drained.
         for k in 0..10u64 {
             db.execute(ProcId(1), add_params(k, 0, u64::MAX));
         }
-        assert_eq!(db.metrics().committed(), 1010);
+        // Drain barrier: shutdown joins the worker pool, so every
+        // submitted transaction has completed and been counted. (A
+        // synchronous same-key marker is NOT enough — a worker can pop an
+        // earlier request and stall before acquiring its lock while the
+        // marker overtakes it.)
+        let metrics = db.metrics().clone();
+        let strategy = db.strategy().clone();
+        db.shutdown();
+        assert_eq!(metrics.committed(), 1010);
         let total: u64 = (0..10u64)
-            .map(|k| u64::from_le_bytes(db.get(Key(k)).unwrap()[..8].try_into().unwrap()))
+            .map(|k| {
+                u64::from_le_bytes(strategy.get(Key(k)).unwrap()[..8].try_into().unwrap())
+            })
             .sum();
         assert_eq!(total, 1000);
     }
@@ -932,6 +964,67 @@ mod recover_tests {
             // And the new chain recovers to the latest state.
             let metas = db.checkpoint_dir().scan().unwrap();
             assert!(metas.iter().any(|m| m.id == stats.id));
+        }
+    }
+
+    #[test]
+    fn partial_checkpoint_after_recovery_covers_replayed_writes() {
+        // A partial checkpoint taken after recovery advances the watermark
+        // past the replayed commits, so it MUST also contain their writes:
+        // if replay's dirty marks land in a stale interval, the next crash
+        // loses those commits even with a complete command log.
+        for kind in [StrategyKind::PCalc, StrategyKind::PNaive] {
+            let dir = std::env::temp_dir().join(format!(
+                "calc-recover-replay-dirty-{}-{}",
+                std::process::id(),
+                kind.name()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+
+            // Lifetime 1: base checkpoint + one commit that exists only in
+            // the command log.
+            let mut config = EngineConfig::new(kind, 2048, 16, dir.clone());
+            config.retain_command_log = true;
+            let db = Database::open(config, registry()).unwrap();
+            for k in 0..10u64 {
+                db.load_initial(Key(k), &0u64.to_le_bytes()).unwrap();
+            }
+            db.finalize_load(true).unwrap();
+            db.execute(ProcId(1), set(3, 77));
+            let log1 = db.commit_log().commits_after(CommitSeq::ZERO);
+            let max_seq = log1.iter().map(|c| c.seq).max().unwrap();
+            drop(db);
+
+            // Lifetime 2: recover (replays set(3, 77)), take a partial
+            // checkpoint with no new commits, crash again.
+            let mut config = EngineConfig::new(kind, 2048, 16, dir.clone());
+            config.retain_command_log = true;
+            let db = Database::open(config, registry()).unwrap();
+            db.recover(&log1).unwrap();
+            assert_eq!(db.get(Key(3)), Some(77u64.to_le_bytes().into()));
+            let stats = db.checkpoint_now().unwrap();
+            assert!(
+                stats.watermark >= max_seq,
+                "{}: post-recovery checkpoint watermark {} does not cover \
+                 the replayed commit {max_seq}",
+                kind.name(),
+                stats.watermark
+            );
+            drop(db);
+
+            // Lifetime 3: recover from the new chain plus the complete
+            // command log. The replayed commit is at seq <= watermark, so
+            // replay skips it — the checkpoint itself must carry it.
+            let mut config = EngineConfig::new(kind, 2048, 16, dir);
+            config.retain_command_log = true;
+            let db = Database::open(config, registry()).unwrap();
+            db.recover(&log1).unwrap();
+            assert_eq!(
+                db.get(Key(3)),
+                Some(77u64.to_le_bytes().into()),
+                "{}: replayed write lost by the post-recovery partial checkpoint",
+                kind.name()
+            );
         }
     }
 }

@@ -16,32 +16,46 @@
 //! appended so far durable — callers batch syncs to amortize the fsync
 //! cost, which is the command-logging trade the paper describes.
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, Read};
 use std::path::Path;
 use std::sync::Arc;
 
 use calc_common::crc::crc32;
+use calc_common::vfs::{OsVfs, Vfs, VfsFile, VfsRead};
 use calc_common::types::{CommitSeq, TxnId};
 use calc_txn::commitlog::CommitRecord;
 use calc_txn::proc::ProcId;
 
 /// Appending side of the command log.
 pub struct CommandLogWriter {
-    out: BufWriter<File>,
+    out: Box<dyn VfsFile>,
     appended: u64,
 }
 
 impl CommandLogWriter {
-    /// Creates (or truncates) a command log at `path`.
+    /// Creates (or truncates) a command log at `path` on the real
+    /// filesystem.
     pub fn create(path: &Path) -> io::Result<Self> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
+        Self::create_with_vfs(&OsVfs, path)
+    }
+
+    /// Creates (or truncates) a command log at `path` through an
+    /// arbitrary [`Vfs`].
+    ///
+    /// The new (empty) file is fsynced and so is its parent directory
+    /// before this returns: the log's *name* must be durable before the
+    /// first commit is acknowledged, or a crash could lose the entire
+    /// log file while the engine believes synced batches are safe.
+    pub fn create_with_vfs(vfs: &dyn Vfs, path: &Path) -> io::Result<Self> {
+        let mut file = vfs.create(path)?;
+        file.sync()?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                vfs.sync_dir(parent)?;
+            }
+        }
         Ok(CommandLogWriter {
-            out: BufWriter::with_capacity(1 << 20, file),
+            out: file,
             appended: 0,
         })
     }
@@ -63,8 +77,7 @@ impl CommandLogWriter {
 
     /// Group commit: flushes buffered records and fsyncs.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.out.flush()?;
-        self.out.get_ref().sync_data()
+        self.out.sync()
     }
 
     /// Records appended so far.
@@ -76,14 +89,19 @@ impl CommandLogWriter {
 /// Reading side: iterates valid records, stopping at the first torn or
 /// corrupt one (everything before it is trusted).
 pub struct CommandLogReader {
-    input: BufReader<File>,
+    input: BufReader<Box<dyn VfsRead>>,
 }
 
 impl CommandLogReader {
-    /// Opens a command log for reading.
+    /// Opens a command log for reading on the real filesystem.
     pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_with_vfs(&OsVfs, path)
+    }
+
+    /// Opens a command log for reading through an arbitrary [`Vfs`].
+    pub fn open_with_vfs(vfs: &dyn Vfs, path: &Path) -> io::Result<Self> {
         Ok(CommandLogReader {
-            input: BufReader::with_capacity(1 << 20, File::open(path)?),
+            input: BufReader::with_capacity(1 << 20, vfs.open_read(path)?),
         })
     }
 

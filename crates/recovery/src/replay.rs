@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use calc_common::types::{CommitSeq, Key, Value};
 use calc_core::manifest::CheckpointDir;
-use calc_core::merge::materialize_chain;
+use calc_core::merge::materialize_chain_with_vfs;
 use calc_core::strategy::CheckpointStrategy;
 use calc_txn::commitlog::CommitRecord;
 use calc_txn::proc::{ProcRegistry, TxnOps};
@@ -124,7 +124,7 @@ pub fn recover_checkpoint_only(
     };
     let watermark = partials.last().map(|p| p.watermark).unwrap_or(full.watermark);
     let files = 1 + partials.len();
-    let state = materialize_chain(&full, &partials)?;
+    let state = materialize_chain_with_vfs(dir.vfs().as_ref(), &full, &partials)?;
     let mut loaded = 0u64;
     for (key, value) in &state {
         strategy.load_initial(*key, value)?;
@@ -172,13 +172,15 @@ pub fn recover(
         } = ops;
         match (result, failed) {
             (Ok(()), None) => {
-                // Replay does not re-append to a commit log; the stamp of
-                // the fresh strategy (REST, cycle 0) is fine for the
-                // commit hook.
-                let stamp = calc_txn::commitlog::PhaseStamp {
-                    cycle: 0,
-                    phase: calc_common::phase::Phase::Rest,
-                };
+                // Replay does not re-append to a commit log, but the commit
+                // stamp must be the strategy's CURRENT stamp (not a
+                // hardcoded cycle 0): partial strategies dirty-mark the
+                // stamp's checkpoint interval, and if the caller has already
+                // resumed the id space past the pre-crash files, marks in a
+                // stale interval would leave the next partial checkpoint
+                // missing every replayed write while its watermark claims
+                // to cover them — silent data loss on the next crash.
+                let stamp = token.stamp;
                 strategy.on_commit(&mut token, rec.seq, stamp);
                 strategy.txn_end(token);
                 outcome.replayed += 1;

@@ -1,0 +1,431 @@
+//! The crash-simulation driver and recovery oracle.
+//!
+//! One [`run_sim`] call is one complete crash experiment:
+//!
+//! 1. Build a [`SimVfs`] from the seed, optionally arming one fault.
+//! 2. Run a seeded workload serially against the chosen strategy,
+//!    appending every commit to a durable command log and checkpointing
+//!    on a fixed cadence. Serial execution makes the commit order equal
+//!    the submission order, so the reference model is exact.
+//! 3. Crash — either because the armed fault fired mid-run, or by
+//!    cutting power at the end of the workload.
+//! 4. Reboot the simulated disk ([`SimVfs::recover_view`]), run real
+//!    recovery (`calc_recovery::recover`), and check the oracle:
+//!    the recovered store must equal the reference model at some
+//!    commit-consistent prefix `S`, and `S` must be at least the durable
+//!    floor — the highest commit the system honestly promised durable
+//!    (via an un-dropped fsync chain) before the crash.
+//!
+//! Everything is a pure function of `(spec.seed, spec)` — a failing case
+//! reprints its spec so it can be replayed exactly.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use calc_common::phase::Phase;
+use calc_common::rng::SplitMix;
+use calc_common::simfs::{DirCrashMode, FaultSpec, OpCounts, SimVfs};
+use calc_common::types::{Key, TxnId};
+use calc_common::vfs::Vfs;
+use calc_core::manifest::CheckpointDir;
+use calc_core::strategy::{CheckpointStrategy, NoopEnv, TxnToken};
+use calc_core::throttle::Throttle;
+use calc_engine::StrategyKind;
+use calc_recovery::logfile::{CommandLogReader, CommandLogWriter};
+use calc_recovery::replay::{recover, RecoveryError};
+use calc_storage::dual::StoreConfig;
+use calc_txn::commitlog::{CommitLog, CommitRecord, PhaseStamp};
+use calc_txn::proc::TxnOps;
+
+use crate::model::{gen_op, model_at, Op};
+use crate::procs::registry;
+
+const WORKLOAD_SALT: u64 = 0x5e11_ab1e_0b5e_55ed;
+
+/// Specification of one crash experiment.
+#[derive(Clone, Debug)]
+pub struct SimSpec {
+    /// Seed driving workload generation and every crash-time draw.
+    pub seed: u64,
+    /// Strategy under test.
+    pub kind: StrategyKind,
+    /// Fault to arm, if any. `None` = clean run ending in a power cut.
+    pub fault: Option<FaultSpec>,
+    /// Transactions to attempt.
+    pub txns: u64,
+    /// Checkpoint after every N transactions.
+    pub checkpoint_every: u64,
+    /// Group-commit the command log after every N transactions.
+    pub sync_every: u64,
+    /// How pending directory entries behave at crash time.
+    pub dir_crash_mode: DirCrashMode,
+}
+
+impl SimSpec {
+    /// The standard small experiment: 40 transactions, checkpoint every
+    /// 10, group-commit every 8.
+    pub fn smoke(kind: StrategyKind, seed: u64) -> Self {
+        SimSpec {
+            seed,
+            kind,
+            fault: None,
+            txns: 40,
+            checkpoint_every: 10,
+            sync_every: 8,
+            dir_crash_mode: DirCrashMode::Seeded,
+        }
+    }
+
+    /// The same experiment with one armed fault.
+    pub fn with_fault(kind: StrategyKind, seed: u64, fault: FaultSpec) -> Self {
+        SimSpec {
+            fault: Some(fault),
+            ..Self::smoke(kind, seed)
+        }
+    }
+}
+
+/// An oracle violation: recovery produced a state inconsistent with every
+/// admissible commit prefix, or broke a durability promise. The message
+/// embeds the full spec so the case can be replayed.
+#[derive(Debug)]
+pub struct OracleViolation {
+    /// The spec that produced the violation.
+    pub spec: SimSpec,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "oracle violation [seed={:#x} kind={} fault={:?} mode={:?}]: {}",
+            self.spec.seed, self.spec.kind, self.spec.fault, self.spec.dir_crash_mode, self.detail
+        )
+    }
+}
+
+impl std::error::Error for OracleViolation {}
+
+/// What one experiment did — useful for asserting a sweep actually
+/// exercised the scenarios it claims to.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Transactions that committed before the crash.
+    pub committed: u64,
+    /// Whether the armed fault fired mid-run (vs. the end-of-run power cut).
+    pub crashed_mid_run: bool,
+    /// The commit-consistent prefix recovery reached.
+    pub recovered_prefix: u64,
+    /// The durability floor the run established (highest honestly-synced
+    /// commit / checkpoint watermark).
+    pub durable_floor: u64,
+    /// IO operation counts at crash time — the sweep domain.
+    pub counts: OpCounts,
+    /// True when the strategy was refused by recovery as
+    /// not-transaction-consistent (expected for Fuzzy).
+    pub refused_not_tc: bool,
+}
+
+/// Serial execution bridge routing procedure ops to the strategy.
+struct Bridge<'a> {
+    strategy: &'a dyn CheckpointStrategy,
+    token: TxnToken,
+    failed: Option<String>,
+}
+
+impl TxnOps for Bridge<'_> {
+    fn get(&mut self, key: Key) -> Option<calc_common::types::Value> {
+        self.strategy.get(key)
+    }
+    fn put(&mut self, key: Key, value: &[u8]) {
+        if let Err(e) = self.strategy.apply_write(&mut self.token, key, value) {
+            self.failed = Some(format!("put {key}: {e}"));
+        }
+    }
+    fn insert(&mut self, key: Key, value: &[u8]) -> bool {
+        match self.strategy.apply_insert(&mut self.token, key, value) {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.failed = Some(format!("insert {key}: {e}"));
+                false
+            }
+        }
+    }
+    fn delete(&mut self, key: Key) -> bool {
+        self.strategy.apply_delete(&mut self.token, key).is_ok()
+    }
+}
+
+fn violation(spec: &SimSpec, detail: impl Into<String>) -> OracleViolation {
+    OracleViolation {
+        spec: spec.clone(),
+        detail: detail.into(),
+    }
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig::for_records(1024, 64)
+}
+
+/// Runs one crash experiment end to end. `Ok` means the oracle held.
+pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
+    let vfs = match spec.fault {
+        Some(f) => SimVfs::with_fault(spec.seed, f),
+        None => SimVfs::new(spec.seed),
+    };
+    vfs.set_dir_crash_mode(spec.dir_crash_mode);
+    let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    let ckpt_dir = PathBuf::from("/sim/ckpts");
+    let log_path = PathBuf::from("/sim/cmd.log");
+
+    let mut committed: Vec<(u64, Op)> = Vec::new();
+    let mut durable_floor = 0u64;
+    let reg = registry();
+
+    // ---- Phase 1: live run, ended by the fault or by running out of work.
+    'live: {
+        let dir = match CheckpointDir::open_with_vfs(
+            &ckpt_dir,
+            Arc::new(Throttle::unlimited()),
+            vfs_dyn.clone(),
+        ) {
+            Ok(d) => d,
+            Err(_) => break 'live,
+        };
+        let mut cmdlog = match CommandLogWriter::create_with_vfs(&vfs, &log_path) {
+            Ok(w) => w,
+            Err(_) => break 'live,
+        };
+        let log = Arc::new(CommitLog::new(false));
+        let strategy = spec.kind.build(store_config(), log.clone());
+        // Partial strategies need a full ancestor in the recovery chain,
+        // exactly as the engine writes one after initial load.
+        if spec.kind.is_partial() && strategy.write_base_checkpoint(&dir).is_err() {
+            break 'live;
+        }
+        let mut rng = SplitMix::new(spec.seed ^ WORKLOAD_SALT);
+
+        for i in 0..spec.txns {
+            let op = gen_op(&mut rng);
+            let (proc_id, params) = op.encode();
+            let procedure = reg.get(proc_id).expect("sim procs registered");
+            let mut bridge = Bridge {
+                strategy: strategy.as_ref(),
+                token: strategy.txn_begin(),
+                failed: None,
+            };
+            procedure
+                .run(&params, &mut bridge)
+                .expect("sim procs never abort");
+            assert!(bridge.failed.is_none(), "sim op failed: {:?}", bridge.failed);
+            let mut token = bridge.token;
+            let (seq, stamp) = log.append_commit(TxnId(i), proc_id, params.clone());
+            let rec = CommitRecord {
+                seq,
+                txn: TxnId(i),
+                proc: proc_id,
+                params,
+            };
+            if cmdlog.append(&rec).is_err() {
+                strategy.txn_end(token);
+                break 'live;
+            }
+            strategy.on_commit(&mut token, seq, stamp);
+            strategy.txn_end(token);
+            committed.push((seq.0, op));
+
+            if (i + 1) % spec.sync_every == 0 {
+                match cmdlog.sync() {
+                    // A durability promise only counts while no fsync has
+                    // ever been dropped: one lying fsync voids the chain
+                    // (the post-fsync-failure world cannot be trusted).
+                    Ok(()) if vfs.fsyncs_dropped() == 0 => durable_floor = seq.0,
+                    Ok(()) => {}
+                    Err(_) => break 'live,
+                }
+            }
+            if (i + 1) % spec.checkpoint_every == 0 {
+                match strategy.checkpoint(&NoopEnv, &dir) {
+                    Ok(stats) if vfs.fsyncs_dropped() == 0 => {
+                        durable_floor = durable_floor.max(stats.watermark.0)
+                    }
+                    Ok(_) => {}
+                    Err(_) => break 'live,
+                }
+            }
+        }
+        // Clean end of workload: one final honest group-commit, then the
+        // power cut below.
+        if cmdlog.sync().is_ok() && vfs.fsyncs_dropped() == 0 {
+            if let Some((seq, _)) = committed.last() {
+                durable_floor = durable_floor.max(*seq);
+            }
+        }
+    }
+
+    let crashed_mid_run = vfs.crashed();
+    if !crashed_mid_run {
+        vfs.force_crash();
+    }
+    let counts = vfs.counts();
+
+    // ---- Phase 2: reboot the disk and recover.
+    vfs.recover_view();
+    let dir = CheckpointDir::open_with_vfs(
+        &ckpt_dir,
+        Arc::new(Throttle::unlimited()),
+        vfs_dyn.clone(),
+    )
+    .map_err(|e| violation(spec, format!("reopening checkpoint dir after crash: {e}")))?;
+    let commands = match CommandLogReader::open_with_vfs(&vfs, &log_path) {
+        Ok(r) => r
+            .read_all()
+            .map_err(|e| violation(spec, format!("reading durable command log: {e}")))?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(violation(spec, format!("opening durable command log: {e}"))),
+    };
+    // Serial-driver invariant: the durable log is a prefix of commit order.
+    for pair in commands.windows(2) {
+        if pair[0].seq >= pair[1].seq {
+            return Err(violation(spec, "durable command log out of order"));
+        }
+    }
+
+    let fresh = spec.kind.build(store_config(), Arc::new(CommitLog::new(false)));
+    let log_tail = commands.last().map(|c| c.seq.0).unwrap_or(0);
+    let recovered_prefix = match recover(&dir, fresh.as_ref(), &reg, &commands) {
+        Ok(outcome) => outcome.watermark.0.max(log_tail),
+        Err(RecoveryError::NotTransactionConsistent(_)) => {
+            if matches!(spec.kind, StrategyKind::Fuzzy | StrategyKind::PFuzzy) {
+                // For fuzzy checkpointing the refusal IS the oracle: a
+                // non-transaction-consistent image must not be recovered
+                // without a physical redo log (§2.1 of the paper).
+                return Ok(SimReport {
+                    committed: committed.len() as u64,
+                    crashed_mid_run,
+                    recovered_prefix: 0,
+                    durable_floor,
+                    counts,
+                    refused_not_tc: true,
+                });
+            }
+            return Err(violation(
+                spec,
+                "transaction-consistent strategy refused by recovery",
+            ));
+        }
+        Err(RecoveryError::NoFullCheckpoint) => {
+            // Legal when no checkpoint ever became durable: recovery is
+            // replay of the whole durable log from an empty store.
+            for rec in &commands {
+                let procedure = reg
+                    .get(rec.proc)
+                    .ok_or_else(|| violation(spec, format!("unknown proc {}", rec.proc.0)))?;
+                let mut bridge = Bridge {
+                    strategy: fresh.as_ref(),
+                    token: fresh.txn_begin(),
+                    failed: None,
+                };
+                procedure
+                    .run(&rec.params, &mut bridge)
+                    .map_err(|e| violation(spec, format!("log-only replay aborted: {e:?}")))?;
+                let mut token = bridge.token;
+                let stamp = PhaseStamp {
+                    cycle: 0,
+                    phase: Phase::Rest,
+                };
+                fresh.on_commit(&mut token, rec.seq, stamp);
+                fresh.txn_end(token);
+            }
+            log_tail
+        }
+        Err(e) => {
+            return Err(violation(
+                spec,
+                format!("recovery failed on a legal crash state: {e}"),
+            ))
+        }
+    };
+
+    // ---- Phase 3: the oracle.
+    if recovered_prefix < durable_floor {
+        return Err(violation(
+            spec,
+            format!(
+                "durability broken: recovered prefix {recovered_prefix} < durable floor \
+                 {durable_floor} (a commit the system promised durable was lost)"
+            ),
+        ));
+    }
+    let expected = model_at(&committed, recovered_prefix);
+    check_state_equals(spec, fresh.as_ref(), &expected, recovered_prefix)?;
+
+    Ok(SimReport {
+        committed: committed.len() as u64,
+        crashed_mid_run,
+        recovered_prefix,
+        durable_floor,
+        counts,
+        refused_not_tc: false,
+    })
+}
+
+fn check_state_equals(
+    spec: &SimSpec,
+    strategy: &dyn CheckpointStrategy,
+    expected: &BTreeMap<u64, Vec<u8>>,
+    prefix: u64,
+) -> Result<(), OracleViolation> {
+    if strategy.record_count() != expected.len() {
+        return Err(violation(
+            spec,
+            format!(
+                "recovered record count {} != model count {} at prefix {prefix}",
+                strategy.record_count(),
+                expected.len()
+            ),
+        ));
+    }
+    for (k, v) in expected {
+        match strategy.get(Key(*k)) {
+            Some(got) if got[..] == v[..] => {}
+            Some(got) => {
+                return Err(violation(
+                    spec,
+                    format!(
+                        "key {k} diverged at prefix {prefix}: recovered {} bytes, model {} bytes",
+                        got.len(),
+                        v.len()
+                    ),
+                ))
+            }
+            None => {
+                return Err(violation(
+                    spec,
+                    format!("key {k} missing after recovery at prefix {prefix}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Base seed for test sweeps; override with `SIM_SEED=<u64>` (decimal or
+/// 0x-hex) to replay a specific failure locally.
+pub fn base_seed() -> u64 {
+    match std::env::var("SIM_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("SIM_SEED not a u64: {s:?}"))
+        }
+        Err(_) => 0xCA1C_51B7_0000_0000,
+    }
+}

@@ -1,0 +1,78 @@
+//! The two stored procedures the simulated workload is built from.
+//!
+//! Kept deliberately minimal: a key/value upsert and a delete. Both are
+//! deterministic functions of their parameters, the property command-log
+//! replay relies on. The registry here is the one handed to recovery, so
+//! the pre-crash workload and the post-crash replay run identical code.
+
+use std::sync::Arc;
+
+use calc_common::types::Key;
+use calc_txn::proc::{params, AbortReason, LockRequest, ProcId, ProcRegistry, Procedure, TxnOps};
+
+/// Procedure id of the upsert.
+pub const SET: ProcId = ProcId(1);
+/// Procedure id of the delete.
+pub const DELETE: ProcId = ProcId(2);
+
+/// Upsert: `params = key:u64 | value bytes`.
+pub struct SetProc;
+
+impl Procedure for SetProc {
+    fn id(&self) -> ProcId {
+        SET
+    }
+    fn name(&self) -> &'static str {
+        "sim-set"
+    }
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = params::Reader::new(p);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = params::Reader::new(p);
+        let key = Key(r.u64()?);
+        let val = r.bytes()?;
+        if ops.get(key).is_some() {
+            ops.put(key, val);
+        } else {
+            ops.insert(key, val);
+        }
+        Ok(())
+    }
+}
+
+/// Delete: `params = key:u64`. Deleting an absent key is a no-op.
+pub struct DeleteProc;
+
+impl Procedure for DeleteProc {
+    fn id(&self) -> ProcId {
+        DELETE
+    }
+    fn name(&self) -> &'static str {
+        "sim-delete"
+    }
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = params::Reader::new(p);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = params::Reader::new(p);
+        ops.delete(Key(r.u64()?));
+        Ok(())
+    }
+}
+
+/// The registry shared by the live workload and recovery replay.
+pub fn registry() -> ProcRegistry {
+    let mut r = ProcRegistry::new();
+    r.register(Arc::new(SetProc));
+    r.register(Arc::new(DeleteProc));
+    r
+}

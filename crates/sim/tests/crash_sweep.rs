@@ -1,0 +1,85 @@
+//! Crash-point sweeps (ISSUE satellite): run the same seeded workload
+//! with a fault injected at operation index N, for every N an operation
+//! class reaches during a full CALC checkpoint cycle — and a coarser
+//! sweep for each baseline strategy. Every run must satisfy the recovery
+//! oracle; a failure panics with the exact replayable spec.
+
+use calc_common::simfs::{DirCrashMode, FaultKind, FaultSpec, OpCounts};
+use calc_engine::StrategyKind;
+use calc_sim::{base_seed, run_sim, SimSpec};
+
+/// Op-class totals for one clean run of the standard workload — the
+/// sweep domain. Measured per strategy because each checkpoints
+/// differently.
+fn clean_counts(kind: StrategyKind, seed: u64) -> OpCounts {
+    run_sim(&SimSpec::smoke(kind, seed))
+        .unwrap_or_else(|v| panic!("clean reference run failed: {v}"))
+        .counts
+}
+
+/// Sweeps every fault kind over its op-class range with stride `step`,
+/// returning how many runs crashed mid-run (i.e. the fault actually
+/// fired before the workload ended).
+fn sweep(kind: StrategyKind, seed: u64, step: u64) -> u64 {
+    let counts = clean_counts(kind, seed);
+    let classes: [(FaultKind, u64); 4] = [
+        (FaultKind::TornWrite, counts.writes),
+        (FaultKind::DropFsync, counts.sync_events()),
+        (FaultKind::CrashBeforeRename, counts.renames),
+        (FaultKind::CrashAfterRename, counts.renames),
+    ];
+    let mut fired = 0;
+    for (fault_kind, total) in classes {
+        let mut at = 0;
+        while at < total {
+            for mode in [DirCrashMode::Seeded, DirCrashMode::RemovesOnly] {
+                let mut spec =
+                    SimSpec::with_fault(kind, seed, FaultSpec { kind: fault_kind, at });
+                spec.dir_crash_mode = mode;
+                let report = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
+                if report.crashed_mid_run {
+                    fired += 1;
+                }
+            }
+            at += step;
+        }
+    }
+    fired
+}
+
+#[test]
+fn calc_exhaustive_crash_point_sweep() {
+    // Every single IO operation index of a CALC run, all four fault
+    // kinds, both directory-crash modes.
+    let fired = sweep(StrategyKind::Calc, base_seed() ^ 0x1000, 1);
+    assert!(fired > 0, "no fault ever fired — sweep domain is wrong");
+}
+
+#[test]
+fn naive_coarse_crash_point_sweep() {
+    sweep(StrategyKind::Naive, base_seed() ^ 0x2000, 5);
+}
+
+#[test]
+fn fuzzy_coarse_crash_point_sweep() {
+    // Fuzzy runs the workload and crashes like the others; its oracle is
+    // that recovery refuses the non-transaction-consistent image.
+    sweep(StrategyKind::Fuzzy, base_seed() ^ 0x3000, 5);
+}
+
+#[test]
+fn ipp_coarse_crash_point_sweep() {
+    sweep(StrategyKind::Ipp, base_seed() ^ 0x4000, 5);
+}
+
+#[test]
+fn zigzag_coarse_crash_point_sweep() {
+    sweep(StrategyKind::Zigzag, base_seed() ^ 0x5000, 5);
+}
+
+#[test]
+fn partial_calc_crash_point_sweep() {
+    // pCALC adds partial checkpoints + tombstones to the on-disk chain;
+    // a coarse sweep keeps the recovery-chain logic honest too.
+    sweep(StrategyKind::PCalc, base_seed() ^ 0x6000, 7);
+}

@@ -1,0 +1,144 @@
+//! Regression tests for the two missing-directory-fsync durability bugs
+//! the simulator caught in the seed code, pinned forever: each test
+//! replays the *pre-fix* IO sequence with raw [`Vfs`] primitives and
+//! shows the data is lost, then runs the *fixed* code path and shows it
+//! survives the identical crash.
+//!
+//! Both use [`DirCrashMode::RemovesOnly`], the adversarial-but-legal
+//! POSIX outcome where no un-fsynced directory mutation survives a power
+//! loss. `rename(2)` is atomic but not durable until the parent
+//! directory is fsynced; same for a newly created file's *name*.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use calc_common::simfs::{DirCrashMode, SimVfs};
+use calc_common::types::{CommitSeq, Key, TxnId};
+use calc_common::vfs::Vfs;
+use calc_core::file::{CheckpointKind, CheckpointWriter};
+use calc_core::manifest::CheckpointDir;
+use calc_core::throttle::Throttle;
+use calc_recovery::logfile::{CommandLogReader, CommandLogWriter};
+use calc_txn::commitlog::CommitRecord;
+use calc_txn::proc::ProcId;
+
+fn adversarial_vfs(seed: u64) -> SimVfs {
+    let vfs = SimVfs::new(seed);
+    vfs.set_dir_crash_mode(DirCrashMode::RemovesOnly);
+    vfs
+}
+
+fn open_dir(vfs: &SimVfs, path: &str) -> CheckpointDir {
+    let v: Arc<dyn Vfs> = Arc::new(vfs.clone());
+    CheckpointDir::open_with_vfs(&PathBuf::from(path), Arc::new(Throttle::unlimited()), v)
+        .unwrap()
+}
+
+/// The seed's original `publish()`: fsync the file, rename into place,
+/// and stop — no parent-directory fsync.
+fn publish_without_dir_fsync(vfs: &dyn Vfs, dir: &Path) {
+    let tmp = dir.join(".tmp-ckpt-0000000001-full.calc");
+    let mut w = CheckpointWriter::create_with_vfs(
+        vfs,
+        &tmp,
+        CheckpointKind::Full,
+        1,
+        CommitSeq(5),
+        Arc::new(Throttle::unlimited()),
+    )
+    .unwrap();
+    w.write_record(Key(7), b"payload").unwrap();
+    w.finish().unwrap();
+    vfs.rename(&tmp, &dir.join("ckpt-0000000001-full.calc")).unwrap();
+    // (missing) vfs.sync_dir(dir)
+}
+
+#[test]
+fn checkpoint_publish_rename_needs_parent_dir_fsync() {
+    // Pre-fix sequence: the checkpoint vanishes wholesale.
+    let vfs = adversarial_vfs(0xD1F_F51);
+    let dir = open_dir(&vfs, "/a/ckpts");
+    vfs.sync_dir(&PathBuf::from("/a/ckpts")).unwrap(); // directory itself durable
+    publish_without_dir_fsync(vfs_ref(&dir), dir.path());
+    vfs.force_crash();
+    vfs.recover_view();
+    let dir = open_dir(&vfs, "/a/ckpts");
+    assert!(
+        dir.recovery_chain().unwrap().is_none(),
+        "rename without dir fsync must be lossy under RemovesOnly — \
+         if this starts failing, the simulator's POSIX model regressed"
+    );
+
+    // Fixed path (`PendingCheckpoint::publish`): survives the same crash.
+    let vfs = adversarial_vfs(0xD1F_F52);
+    let dir = open_dir(&vfs, "/a/ckpts");
+    let mut p = dir.begin(CheckpointKind::Full, 1, CommitSeq(5)).unwrap();
+    p.writer().write_record(Key(7), b"payload").unwrap();
+    p.publish().unwrap();
+    vfs.force_crash();
+    vfs.recover_view();
+    let dir = open_dir(&vfs, "/a/ckpts");
+    let (full, partials) = dir
+        .recovery_chain()
+        .unwrap()
+        .expect("published checkpoint must survive the crash");
+    assert_eq!(full.id, 1);
+    assert_eq!(full.records, 1);
+    assert!(partials.is_empty());
+}
+
+#[test]
+fn command_log_creation_needs_parent_dir_fsync() {
+    let rec = CommitRecord {
+        seq: CommitSeq(1),
+        txn: TxnId(1),
+        proc: ProcId(1),
+        params: Arc::from(&b"xyz"[..]),
+    };
+
+    // Pre-fix sequence: create + append + fsync *the file* only. The
+    // bytes are durable but the name that reaches them is not.
+    let vfs = adversarial_vfs(0xD1F_F53);
+    vfs.create_dir_all(&PathBuf::from("/b")).unwrap();
+    vfs.sync_dir(&PathBuf::from("/")).unwrap();
+    vfs.sync_dir(&PathBuf::from("/b")).unwrap();
+    let path = PathBuf::from("/b/cmd.log");
+    {
+        let mut out = vfs.create(&path).unwrap();
+        // Same record encoding CommandLogWriter uses, minus its fixes.
+        out.write_all(&[21, 0, 0, 0]).unwrap();
+        out.sync().unwrap();
+        // (missing) vfs.sync_dir("/b")
+    }
+    vfs.force_crash();
+    vfs.recover_view();
+    assert!(
+        vfs.open_read(&path).is_err(),
+        "un-fsynced file name must be lost under RemovesOnly"
+    );
+
+    // Fixed path (`CommandLogWriter::create_with_vfs`): the name is
+    // durable before the first commit is acknowledged.
+    let vfs = adversarial_vfs(0xD1F_F54);
+    vfs.create_dir_all(&PathBuf::from("/b")).unwrap();
+    vfs.sync_dir(&PathBuf::from("/")).unwrap();
+    vfs.sync_dir(&PathBuf::from("/b")).unwrap();
+    {
+        let mut w = CommandLogWriter::create_with_vfs(&vfs, &path).unwrap();
+        w.append(&rec).unwrap();
+        w.sync().unwrap();
+    }
+    vfs.force_crash();
+    vfs.recover_view();
+    let records = CommandLogReader::open_with_vfs(&vfs, &path)
+        .expect("fsynced log name must survive the crash")
+        .read_all()
+        .unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].seq, CommitSeq(1));
+    assert_eq!(&records[0].params[..], b"xyz");
+}
+
+fn vfs_ref(dir: &CheckpointDir) -> &dyn Vfs {
+    dir.vfs().as_ref()
+}

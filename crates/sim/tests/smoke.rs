@@ -1,0 +1,90 @@
+//! 64-seed smoke sweep: every checkpointing strategy of the paper's
+//! full-checkpoint comparison set, rotating through all four fault kinds
+//! plus clean power cuts, under both directory-crash modes. This is the
+//! tier-2 gate (`cargo verify-tier2` / `scripts/verify.sh`); a failure
+//! prints the exact spec (seed, kind, fault, index) to replay with
+//! `SIM_SEED=<seed> cargo test -p calc-sim`.
+
+use calc_common::simfs::{DirCrashMode, FaultKind, FaultSpec};
+use calc_engine::StrategyKind;
+use calc_sim::{base_seed, run_sim, SimSpec};
+
+const FAULTS: [FaultKind; 4] = [
+    FaultKind::TornWrite,
+    FaultKind::DropFsync,
+    FaultKind::CrashBeforeRename,
+    FaultKind::CrashAfterRename,
+];
+
+#[test]
+fn sixty_four_seed_smoke_sweep() {
+    let base = base_seed();
+    let mut fuzzy_refusals = 0u32;
+    let mut mid_run_crashes = 0u32;
+    for i in 0..64u64 {
+        let seed = base ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let kind = StrategyKind::FULL_SET[(i % 5) as usize];
+        // i % 6: four fault kinds + two clean power-cut runs per cycle.
+        let fault = match (i % 6) as usize {
+            n if n < 4 => Some(FaultSpec {
+                kind: FAULTS[n],
+                // Spread fault indices across the op-class range; an
+                // index past the run's op count degenerates to a clean
+                // power cut, which is also a valid case.
+                at: i / 6 * 7 % 60,
+            }),
+            _ => None,
+        };
+        let mut spec = SimSpec::smoke(kind, seed);
+        spec.fault = fault;
+        spec.dir_crash_mode = if i % 2 == 0 {
+            DirCrashMode::Seeded
+        } else {
+            DirCrashMode::RemovesOnly
+        };
+        let report = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
+        if report.refused_not_tc {
+            fuzzy_refusals += 1;
+        }
+        if report.crashed_mid_run {
+            mid_run_crashes += 1;
+        }
+    }
+    // The sweep must actually exercise both interesting regimes.
+    assert!(fuzzy_refusals > 0, "no Fuzzy run reached recovery refusal");
+    assert!(mid_run_crashes > 0, "no armed fault ever fired mid-run");
+}
+
+#[test]
+fn clean_power_cut_recovers_every_strategy() {
+    for (i, kind) in StrategyKind::FULL_SET.into_iter().enumerate() {
+        let spec = SimSpec::smoke(kind, base_seed() ^ (0xA0 + i as u64));
+        let report = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
+        if !report.refused_not_tc {
+            // With the final group-commit honest, nothing is lost.
+            assert_eq!(
+                report.recovered_prefix, report.durable_floor,
+                "clean cut should recover exactly the durable floor for {kind}"
+            );
+            assert_eq!(report.committed, spec.txns);
+        }
+    }
+}
+
+#[test]
+fn same_spec_same_outcome() {
+    let spec = SimSpec::with_fault(
+        StrategyKind::Calc,
+        base_seed() ^ 0xD5,
+        FaultSpec {
+            kind: FaultKind::TornWrite,
+            at: 33,
+        },
+    );
+    let a = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
+    let b = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.recovered_prefix, b.recovered_prefix);
+    assert_eq!(a.durable_floor, b.durable_floor);
+    assert_eq!(a.counts, b.counts);
+}

@@ -1,12 +1,15 @@
-//! Property-based model checking of the three storage engines: arbitrary
+//! Randomized model checking of the three storage engines: seeded
 //! insert/update/delete sequences must match a `BTreeMap` model, and
 //! CALC's dual-version store must additionally keep its memory accounting
 //! exact (no leaked live bytes or stable copies).
+//!
+//! The offline build has no proptest, so cases are generated from
+//! `calc_common::rng::SplitMix` — fully deterministic per seed, with the
+//! failing seed printed on assertion failure.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
+use calc_common::rng::SplitMix;
 use calc_common::types::Key;
 use calc_storage::dual::{DualVersionStore, StoreConfig};
 use calc_storage::triple::TripleStore;
@@ -19,28 +22,41 @@ enum Op {
     Delete(u8),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..24))
-                .prop_map(|(k, v)| Op::Insert(k % 32, v)),
-            (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..24))
-                .prop_map(|(k, v)| Op::Update(k % 32, v)),
-            any::<u8>().prop_map(|k| Op::Delete(k % 32)),
-        ],
-        0..120,
-    )
+fn gen_value(rng: &mut SplitMix) -> Vec<u8> {
+    let len = 1 + rng.next_below(23) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn gen_ops(rng: &mut SplitMix) -> Vec<Op> {
+    let n = rng.next_below(120) as usize;
+    (0..n)
+        .map(|_| {
+            let k = (rng.next_below(32)) as u8;
+            match rng.next_below(3) {
+                0 => Op::Insert(k, gen_value(rng)),
+                1 => Op::Update(k, gen_value(rng)),
+                _ => Op::Delete(k),
+            }
+        })
+        .collect()
 }
 
 fn config() -> StoreConfig {
     StoreConfig::for_records(4096, 32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+const CASES: u64 = 64;
 
-    #[test]
-    fn dual_store_matches_model(ops in ops()) {
+const fn seed_base() -> u64 {
+    0x5704_26e5_0000_0000
+}
+
+#[test]
+fn dual_store_matches_model() {
+    for case in 0..CASES {
+        let seed = seed_base() ^ case;
+        let mut rng = SplitMix::new(seed);
+        let ops = gen_ops(&mut rng);
         let store = DualVersionStore::new(config());
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         for op in ops {
@@ -48,9 +64,9 @@ proptest! {
                 Op::Insert(k, v) => {
                     let r = store.insert(Key(k as u64), &v);
                     if model.contains_key(&(k as u64)) {
-                        prop_assert!(r.is_err());
+                        assert!(r.is_err(), "seed {seed:#x}: duplicate insert accepted");
                     } else {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok(), "seed {seed:#x}: fresh insert rejected");
                         model.insert(k as u64, v);
                     }
                 }
@@ -59,7 +75,7 @@ proptest! {
                         g.set_live(&v);
                         model.insert(k as u64, v);
                     } else {
-                        prop_assert!(!model.contains_key(&(k as u64)));
+                        assert!(!model.contains_key(&(k as u64)), "seed {seed:#x}");
                     }
                 }
                 Op::Delete(k) => {
@@ -68,111 +84,141 @@ proptest! {
                         store.unlink(Key(k as u64)).unwrap();
                         let mut g = store.lock_slot(slot);
                         g.clear_live();
-                        prop_assert!(g.release_if_vacant());
+                        assert!(g.release_if_vacant(), "seed {seed:#x}");
                     } else {
-                        prop_assert!(store.slot_of(Key(k as u64)).is_none());
+                        assert!(store.slot_of(Key(k as u64)).is_none(), "seed {seed:#x}");
                     }
                 }
             }
         }
-        prop_assert_eq!(store.len(), model.len());
+        assert_eq!(store.len(), model.len(), "seed {seed:#x}");
         for (k, v) in &model {
-            prop_assert_eq!(store.get(Key(*k)).as_deref(), Some(v.as_slice()));
+            assert_eq!(
+                store.get(Key(*k)).as_deref(),
+                Some(v.as_slice()),
+                "seed {seed:#x} key {k}"
+            );
         }
         // Memory accounting exactness.
         let mem = store.memory();
-        prop_assert_eq!(mem.live_count, model.len());
-        prop_assert_eq!(mem.live_bytes, model.values().map(|v| v.len()).sum::<usize>());
-        prop_assert_eq!(mem.extra_count, 0, "no stable copies outside checkpoints");
+        assert_eq!(mem.live_count, model.len(), "seed {seed:#x}");
+        assert_eq!(
+            mem.live_bytes,
+            model.values().map(|v| v.len()).sum::<usize>(),
+            "seed {seed:#x}"
+        );
+        assert_eq!(
+            mem.extra_count, 0,
+            "seed {seed:#x}: no stable copies outside checkpoints"
+        );
         let dump = store.dump_live();
-        prop_assert_eq!(dump.len(), model.len());
+        assert_eq!(dump.len(), model.len(), "seed {seed:#x}");
     }
+}
 
-    #[test]
-    fn zigzag_store_matches_model(ops in ops()) {
+#[test]
+fn zigzag_store_matches_model() {
+    for case in 0..CASES {
+        let seed = seed_base() ^ (0x100 + case);
+        let mut rng = SplitMix::new(seed);
+        let ops = gen_ops(&mut rng);
         let store = ZigzagStore::new(config());
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         for op in ops {
             match op {
                 Op::Insert(k, v) => {
                     if store.insert(Key(k as u64), &v).is_ok() {
-                        prop_assert!(!model.contains_key(&(k as u64)));
+                        assert!(!model.contains_key(&(k as u64)), "seed {seed:#x}");
                         model.insert(k as u64, v);
                     } else {
-                        prop_assert!(model.contains_key(&(k as u64)));
+                        assert!(model.contains_key(&(k as u64)), "seed {seed:#x}");
                     }
                 }
                 Op::Update(k, v) => {
                     if store.write(Key(k as u64), &v).is_ok() {
-                        prop_assert!(model.contains_key(&(k as u64)));
+                        assert!(model.contains_key(&(k as u64)), "seed {seed:#x}");
                         model.insert(k as u64, v);
                     } else {
-                        prop_assert!(!model.contains_key(&(k as u64)));
+                        assert!(!model.contains_key(&(k as u64)), "seed {seed:#x}");
                     }
                 }
                 Op::Delete(k) => {
                     if store.delete(Key(k as u64), false).is_ok() {
-                        prop_assert!(model.remove(&(k as u64)).is_some());
+                        assert!(model.remove(&(k as u64)).is_some(), "seed {seed:#x}");
                     } else {
-                        prop_assert!(!model.contains_key(&(k as u64)));
+                        assert!(!model.contains_key(&(k as u64)), "seed {seed:#x}");
                     }
                 }
             }
         }
-        prop_assert_eq!(store.len(), model.len());
+        assert_eq!(store.len(), model.len(), "seed {seed:#x}");
         for (k, v) in &model {
-            prop_assert_eq!(store.get(Key(*k)).as_deref(), Some(v.as_slice()));
+            assert_eq!(
+                store.get(Key(*k)).as_deref(),
+                Some(v.as_slice()),
+                "seed {seed:#x} key {k}"
+            );
         }
         // Two copies of everything at rest.
         let mem = store.memory();
-        prop_assert_eq!(mem.live_count, model.len());
-        prop_assert_eq!(mem.extra_count, model.len());
+        assert_eq!(mem.live_count, model.len(), "seed {seed:#x}");
+        assert_eq!(mem.extra_count, model.len(), "seed {seed:#x}");
     }
+}
 
-    #[test]
-    fn triple_store_matches_model(ops in ops()) {
+#[test]
+fn triple_store_matches_model() {
+    for case in 0..CASES {
+        let seed = seed_base() ^ (0x200 + case);
+        let mut rng = SplitMix::new(seed);
+        let ops = gen_ops(&mut rng);
         let store = TripleStore::new(config(), false);
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         for op in ops {
             match op {
                 Op::Insert(k, v) => {
                     if store.insert(Key(k as u64), &v).is_ok() {
-                        prop_assert!(!model.contains_key(&(k as u64)));
+                        assert!(!model.contains_key(&(k as u64)), "seed {seed:#x}");
                         model.insert(k as u64, v);
                     } else {
-                        prop_assert!(model.contains_key(&(k as u64)));
+                        assert!(model.contains_key(&(k as u64)), "seed {seed:#x}");
                     }
                 }
                 Op::Update(k, v) => {
                     if store.write(Key(k as u64), &v).is_ok() {
                         model.insert(k as u64, v);
                     } else {
-                        prop_assert!(!model.contains_key(&(k as u64)));
+                        assert!(!model.contains_key(&(k as u64)), "seed {seed:#x}");
                     }
                 }
                 Op::Delete(k) => {
                     if store.delete(Key(k as u64)).is_ok() {
-                        prop_assert!(model.remove(&(k as u64)).is_some());
+                        assert!(model.remove(&(k as u64)).is_some(), "seed {seed:#x}");
                     } else {
-                        prop_assert!(!model.contains_key(&(k as u64)));
+                        assert!(!model.contains_key(&(k as u64)), "seed {seed:#x}");
                     }
                 }
             }
         }
-        prop_assert_eq!(store.len(), model.len());
+        assert_eq!(store.len(), model.len(), "seed {seed:#x}");
         for (k, v) in &model {
-            prop_assert_eq!(store.get(Key(*k)).as_deref(), Some(v.as_slice()));
+            assert_eq!(
+                store.get(Key(*k)).as_deref(),
+                Some(v.as_slice()),
+                "seed {seed:#x} key {k}"
+            );
         }
     }
+}
 
-    /// A full checkpoint cycle at any point in an op sequence leaves the
-    /// dual store's live state untouched.
-    #[test]
-    fn dual_store_checkpoint_cycle_preserves_live_state(
-        ops in ops(),
-        _cycle_at in 0usize..120,
-    ) {
-        use calc_core_shim::*;
+/// A full checkpoint cycle at any point in an op sequence leaves the
+/// dual store's live state untouched.
+#[test]
+fn dual_store_checkpoint_cycle_preserves_live_state() {
+    for case in 0..CASES {
+        let seed = seed_base() ^ (0x300 + case);
+        let mut rng = SplitMix::new(seed);
+        let ops = gen_ops(&mut rng);
         // (This test intentionally uses only the storage API: simulate the
         // capture scan's slot walk with stable erasure + bit
         // normalization, then polarity swap, and verify live data is
@@ -198,33 +244,36 @@ proptest! {
         capture_walk(&store);
         store.stable_status().swap_polarity();
         for (k, v) in &model {
-            prop_assert_eq!(store.get(Key(*k)).as_deref(), Some(v.as_slice()));
+            assert_eq!(
+                store.get(Key(*k)).as_deref(),
+                Some(v.as_slice()),
+                "seed {seed:#x} key {k}"
+            );
             let g = store.locked_slot_of(Key(*k)).unwrap();
-            prop_assert!(!g.has_stable());
-            prop_assert!(!store.stable_status().is_marked(g.slot() as usize));
+            assert!(!g.has_stable(), "seed {seed:#x}");
+            assert!(
+                !store.stable_status().is_marked(g.slot() as usize),
+                "seed {seed:#x}"
+            );
         }
-        prop_assert_eq!(store.memory().extra_count, 0);
+        assert_eq!(store.memory().extra_count, 0, "seed {seed:#x}");
     }
 }
 
 /// Minimal stand-in for the capture scan, storage-API-only.
-mod calc_core_shim {
-    use super::*;
-
-    pub fn capture_walk(store: &DualVersionStore) {
-        let status = store.stable_status();
-        for slot in store.slot_ids() {
-            let mut g = store.lock_slot(slot);
-            if !g.in_use() {
-                status.mark(slot as usize);
-                continue;
-            }
-            if status.is_marked(slot as usize) {
-                g.erase_stable();
-            } else {
-                status.mark(slot as usize);
-                g.erase_stable();
-            }
+fn capture_walk(store: &DualVersionStore) {
+    let status = store.stable_status();
+    for slot in store.slot_ids() {
+        let mut g = store.lock_slot(slot);
+        if !g.in_use() {
+            status.mark(slot as usize);
+            continue;
+        }
+        if status.is_marked(slot as usize) {
+            g.erase_stable();
+        } else {
+            status.mark(slot as usize);
+            g.erase_stable();
         }
     }
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 (build + every workspace test) followed
+# by tier-2 (the deterministic crash-simulation suite in calc-sim,
+# including the 64-seed smoke sweep). Any sim failure panics with the
+# exact replayable spec — seed, strategy, fault kind and operation
+# index — reproducible via e.g.:
+#
+#   SIM_SEED=0xdeadbeef cargo test -p calc-sim
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --workspace --quiet
+
+echo "== tier-1: workspace tests =="
+cargo test --workspace --quiet
+
+echo "== tier-2: crash-simulation sweep (calc-sim) =="
+cargo test --package calc-sim --quiet
+
+echo "verify: all gates green"

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` benchmark crate.
+//!
+//! Implements the API subset used by `crates/bench`: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::{iter, iter_with_setup}`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! Instead of criterion's statistical analysis it runs a short warmup,
+//! then a fixed number of timed samples, and prints the median ns/iter
+//! (plus derived throughput when one was declared).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration workload size, used to derive throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id consisting of the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives the timing loop for a single benchmark.
+pub struct Bencher {
+    /// Total time spent in the measured routine for this sample.
+    elapsed: Duration,
+    /// Iterations to run per sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` outside the timed region
+    /// before every invocation of `routine`.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+const DEFAULT_SAMPLES: usize = 10;
+const WARMUP_ITERS: u64 = 3;
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(100);
+
+fn run_benchmark(name: &str, throughput: Option<Throughput>, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warmup: also calibrates how many iterations fit in a sample window.
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: WARMUP_ITERS,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / WARMUP_ITERS as f64;
+    let iters = if per_iter > 0.0 {
+        (TARGET_SAMPLE_TIME.as_secs_f64() / per_iter).clamp(1.0, 1e7) as u64
+    } else {
+        1000
+    };
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let mut line = format!("bench {name:<50} {median:>12.1} ns/iter");
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let rate = n as f64 / (median * 1e-9);
+            line += &format!("  ({rate:>12.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let rate = n as f64 / (median * 1e-9) / (1024.0 * 1024.0);
+            line += &format!("  ({rate:>9.1} MiB/s)");
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Declares per-iteration workload size for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, 100);
+        self
+    }
+
+    /// Runs a benchmark under `group_name/id`.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.throughput, self.samples, &mut f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.throughput, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, DEFAULT_SAMPLES, &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4)).sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter_with_setup(|| vec![n; 8], |v| v.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
