@@ -24,6 +24,10 @@
 //!   through, with the [`vfs::OsVfs`] passthrough.
 //! * [`simfs`] — a deterministic fault-injecting in-memory filesystem
 //!   ([`simfs::SimVfs`]) for crash-recovery testing.
+//! * [`perturb`] — seeded schedule-jitter points for concurrency stress
+//!   (free when disabled; see `calc-conform`).
+//! * [`mutation`] — test-only seeded-bug switches (behind the
+//!   `mutation-hooks` feature) proving the conformance oracle has teeth.
 
 #![warn(missing_docs)]
 
@@ -31,6 +35,9 @@ pub mod bitvec;
 pub mod bloom;
 pub mod crc;
 pub mod hist;
+#[cfg(feature = "mutation-hooks")]
+pub mod mutation;
+pub mod perturb;
 pub mod phase;
 pub mod rng;
 pub mod simfs;

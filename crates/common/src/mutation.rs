@@ -1,0 +1,110 @@
+//! Test-only fault switches that inject *known concurrency bugs* into the
+//! engine, so the conformance checker can prove it would catch them.
+//!
+//! A checker that has never seen a failure proves nothing: if the oracle
+//! is vacuous (checks the wrong thing, or checks nothing under the real
+//! schedules), every run "passes". The mutation smoke test in
+//! `calc-conform` flips each switch here, reruns the stress harness, and
+//! asserts the checker reports a violation — zero false negatives on the
+//! mutation set, zero false positives on clean runs.
+//!
+//! Everything here is behind the `mutation-hooks` cargo feature AND a
+//! runtime flag that defaults to off. The double gate matters: cargo
+//! feature unification means a workspace build that includes
+//! `calc-conform` compiles these hooks into `calc-txn`/`calc-storage`
+//! for every crate's tests, so correctness cannot rely on the feature
+//! being absent — only the runtime flags, which nothing but the mutation
+//! smoke test ever sets.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The seeded bugs. Each corresponds to a one-line "typo" a refactor
+/// could plausibly introduce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mutation {
+    /// The lock manager grants every request in shared mode — writers no
+    /// longer exclude each other, so hot-key read-modify-write chains
+    /// lose updates.
+    SkipLock,
+    /// `DualVersionStore::get` returns the *stable* version when one
+    /// exists — readers observe the checkpoint's pre-images instead of
+    /// the newest committed live value while a checkpoint is in flight.
+    StaleStableRead,
+    /// `CommitLog::append_commit` stamps the commit with the *next*
+    /// phase, as if the stamp had been read after a racing phase
+    /// transition instead of under the log mutex — commits straddle the
+    /// virtual point of consistency and checkpoint contents go wrong.
+    LatePhaseStamp,
+}
+
+/// All mutations, for sweep-style tests.
+pub const ALL: [Mutation; 3] = [
+    Mutation::SkipLock,
+    Mutation::StaleStableRead,
+    Mutation::LatePhaseStamp,
+];
+
+static FLAGS: [AtomicBool; 3] = [
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+    AtomicBool::new(false),
+];
+
+impl Mutation {
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Mutation::SkipLock => 0,
+            Mutation::StaleStableRead => 1,
+            Mutation::LatePhaseStamp => 2,
+        }
+    }
+
+    /// Human-readable name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::SkipLock => "skip-lock",
+            Mutation::StaleStableRead => "stale-stable-read",
+            Mutation::LatePhaseStamp => "late-phase-stamp",
+        }
+    }
+}
+
+/// Arms a mutation process-wide. Test harnesses must serialize around
+/// this (the flags are global).
+pub fn arm(m: Mutation) {
+    FLAGS[m.idx()].store(true, Ordering::SeqCst);
+}
+
+/// Disarms all mutations.
+pub fn disarm_all() {
+    for f in &FLAGS {
+        f.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Whether a mutation is currently armed. Hook sites call this; it is a
+/// single relaxed load when the feature is compiled in, and the whole
+/// call site is absent otherwise.
+#[inline]
+pub fn armed(m: Mutation) -> bool {
+    FLAGS[m.idx()].load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_disarm_roundtrip() {
+        disarm_all();
+        for m in ALL {
+            assert!(!armed(m), "{} armed at rest", m.name());
+        }
+        arm(Mutation::SkipLock);
+        assert!(armed(Mutation::SkipLock));
+        assert!(!armed(Mutation::StaleStableRead));
+        disarm_all();
+        assert!(!armed(Mutation::SkipLock));
+    }
+}

@@ -1,0 +1,58 @@
+//! Spot-check of the history recorder's overhead.
+//!
+//! Default release builds compile the recorder out entirely (the
+//! `conform` feature is off outside this crate), so the interesting
+//! question is the residual cost *within* a conform build: detached
+//! (`recorder: None`, one `Option` check per operation) vs attached
+//! (clone every observed value + one mutex push per commit). Run with
+//! `cargo bench -p calc-conform` and compare the two lines.
+
+use std::sync::Arc;
+
+use calc_engine::recorder::HistoryRecorder;
+use calc_engine::{Database, EngineConfig, StrategyKind};
+use calc_txn::proc::ProcRegistry;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn open(attach_recorder: bool, name: &str) -> (Database, Option<Arc<HistoryRecorder>>) {
+    let dir = std::env::temp_dir().join(format!(
+        "calc-conform-bench-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut registry = ProcRegistry::new();
+    calc_conform::procs::register_all(&mut registry);
+    let mut config = EngineConfig::new(StrategyKind::Calc, 2048, 16, dir);
+    config.workers = 2;
+    let recorder = attach_recorder.then(|| Arc::new(HistoryRecorder::new()));
+    config.recorder = recorder.clone();
+    let db = Database::open(config, registry).unwrap();
+    for k in 0..1024u64 {
+        db.load_initial(k.into(), &k.to_le_bytes()).unwrap();
+    }
+    db.finalize_load(false).unwrap();
+    (db, recorder)
+}
+
+fn bench_recorder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recorder_overhead");
+    g.throughput(Throughput::Elements(1));
+    for (label, attach) in [("detached", false), ("attached", true)] {
+        let (db, _recorder) = open(attach, label);
+        let mut k = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                k = (k + 7919) % 1024;
+                db.execute(
+                    calc_conform::procs::RMW_ADD,
+                    calc_conform::procs::rmw_add_params(k, 1),
+                )
+            })
+        });
+        db.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recorder);
+criterion_main!(benches);

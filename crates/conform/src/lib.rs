@@ -1,0 +1,56 @@
+//! Concurrency conformance harness for the CALC database.
+//!
+//! `calc-sim` proves crash-durability for *serial* executions; this crate
+//! closes the concurrency gap. The engine's worker pool runs strict 2PL
+//! (deadlock-free, Calvin-style up-front lock sets), so the commit-token
+//! order produced by the commit log must be a *valid serial order*: an
+//! offline replay of every committed transaction's recorded operations,
+//! in commit-sequence order against a plain `BTreeMap`, must reproduce
+//! every read each transaction actually observed. And the paper's central
+//! claim — a checkpoint is a *consistent virtual point* of that order —
+//! becomes operational: materializing a checkpoint file must yield
+//! exactly the replayed state at the checkpoint's watermark.
+//!
+//! Ingredients:
+//!
+//! * `calc-engine`'s feature-gated history recorder
+//!   ([`calc_engine::recorder`]) captures per-transaction read sets
+//!   (key + observed value), write sets, and phase stamps.
+//! * [`checker`] — the offline serial-model replay plus checkpoint
+//!   materialization (full files replace the model image; partial files
+//!   apply values and tombstones on top of their base chain).
+//! * [`stress`] — multi-threaded scenarios (hot-key RMW chains, blind
+//!   writes, checkpoint-under-contention, TPC-C mix) run with
+//!   [`calc_common::perturb`] seeded schedule jitter at lock
+//!   grant/release, stable-version install, and phase transitions.
+//! * the mutation smoke test (`tests/mutation_smoke.rs`) arms each
+//!   seeded bug in [`calc_common::mutation`] and asserts the checker
+//!   reports a violation — the oracle has teeth.
+//!
+//! Reproduce any reported failure with `CONFORM_SEED=<seed> cargo test
+//! -p calc-conform` (aliased as `cargo verify-conform`).
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod procs;
+pub mod stress;
+
+pub use checker::{check, ConformInput, ConformReport, Violation};
+pub use stress::{run_stress, run_stress_mutated, Scenario, StressSpec};
+
+/// Base seed for the stress suite, overridable for replay with
+/// `CONFORM_SEED=<u64>` (decimal or `0x`-hex).
+pub fn base_seed() -> u64 {
+    match std::env::var("CONFORM_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("CONFORM_SEED not a u64: {s:?}"))
+        }
+        Err(_) => 0xC0F0_2026_0000_0000,
+    }
+}

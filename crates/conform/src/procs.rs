@@ -1,0 +1,167 @@
+//! Minimal stored procedures for the stress scenarios.
+//!
+//! Values are 8-byte little-endian counters — small enough that millions
+//! of them fit in a recorded history, rich enough that a lost update or a
+//! stale read changes the bytes and trips the checker.
+
+use std::sync::Arc;
+
+use calc_common::types::Key;
+use calc_txn::proc::params::{Reader, Writer};
+use calc_txn::proc::{AbortReason, LockRequest, ProcId, ProcRegistry, Procedure, TxnOps};
+
+/// Read-modify-write increment: `v[key] += delta` (insert on absent).
+/// The bread-and-butter lost-update detector — two of these racing on one
+/// key under broken locking both read the same pre-image.
+pub const RMW_ADD: ProcId = ProcId(1);
+/// Blind single-key put / insert / delete (no reads at all); exercises
+/// the checker's insert/delete outcome validation.
+pub const BLIND: ProcId = ProcId(2);
+/// Two-key read-modify-write transfer (`from -= amount, to += amount`,
+/// wrapping); exercises multi-key lock sets under contention.
+pub const TRANSFER: ProcId = ProcId(3);
+
+fn val_u64(v: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    let n = v.len().min(8);
+    b[..n].copy_from_slice(&v[..n]);
+    u64::from_le_bytes(b)
+}
+
+fn enc(v: u64) -> [u8; 8] {
+    v.to_le_bytes()
+}
+
+/// Builds [`RMW_ADD`] parameters.
+pub fn rmw_add_params(key: u64, delta: u64) -> Arc<[u8]> {
+    Writer::new().u64(key).u64(delta).finish()
+}
+
+/// Builds [`BLIND`] parameters: `op` 0 = put, 1 = insert, 2 = delete.
+pub fn blind_params(op: u32, key: u64, value: u64) -> Arc<[u8]> {
+    Writer::new().u32(op).u64(key).u64(value).finish()
+}
+
+/// Builds [`TRANSFER`] parameters.
+pub fn transfer_params(from: u64, to: u64, amount: u64) -> Arc<[u8]> {
+    Writer::new().u64(from).u64(to).u64(amount).finish()
+}
+
+struct RmwAddProc;
+
+impl Procedure for RmwAddProc {
+    fn id(&self) -> ProcId {
+        RMW_ADD
+    }
+    fn name(&self) -> &'static str {
+        "conform-rmw-add"
+    }
+    fn locks(&self, params: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(params);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, params: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(params);
+        let key = Key(r.u64()?);
+        let delta = r.u64()?;
+        match ops.get(key) {
+            Some(v) => ops.put(key, &enc(val_u64(&v).wrapping_add(delta))),
+            None => {
+                ops.insert(key, &enc(delta));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct BlindProc;
+
+impl Procedure for BlindProc {
+    fn id(&self) -> ProcId {
+        BLIND
+    }
+    fn name(&self) -> &'static str {
+        "conform-blind"
+    }
+    fn locks(&self, params: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(params);
+        let op = r.u32()?;
+        if op > 2 {
+            return Err(AbortReason::BadParams(format!("blind op {op}")));
+        }
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, params: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(params);
+        let op = r.u32()?;
+        let key = Key(r.u64()?);
+        let value = r.u64()?;
+        match op {
+            // Upsert without reading: `put` requires the key to exist, so
+            // probe with `insert` (which observes presence, not the value)
+            // and overwrite on duplicate. Still blind — no value is read.
+            0 => {
+                if !ops.insert(key, &enc(value)) {
+                    ops.put(key, &enc(value));
+                }
+            }
+            1 => {
+                ops.insert(key, &enc(value));
+            }
+            2 => {
+                ops.delete(key);
+            }
+            _ => return Err(AbortReason::BadParams(format!("blind op {op}"))),
+        }
+        Ok(())
+    }
+}
+
+struct TransferProc;
+
+impl Procedure for TransferProc {
+    fn id(&self) -> ProcId {
+        TRANSFER
+    }
+    fn name(&self) -> &'static str {
+        "conform-transfer"
+    }
+    fn locks(&self, params: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = Reader::new(params);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?), Key(r.u64()?)],
+        })
+    }
+    fn run(&self, params: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = Reader::new(params);
+        let from = Key(r.u64()?);
+        let to = Key(r.u64()?);
+        let amount = r.u64()?;
+        let upsert = |ops: &mut dyn TxnOps, key: Key, v: u64| {
+            if !ops.insert(key, &enc(v)) {
+                ops.put(key, &enc(v));
+            }
+        };
+        let f = ops.get(from).map(|v| val_u64(&v)).unwrap_or(0);
+        upsert(ops, from, f.wrapping_sub(amount));
+        // Re-read `to` *after* the `from` write so self-transfers
+        // (from == to) stay deterministic.
+        let t = ops.get(to).map(|v| val_u64(&v)).unwrap_or(0);
+        upsert(ops, to, t.wrapping_add(amount));
+        Ok(())
+    }
+}
+
+/// Registers all three conform procedures.
+pub fn register_all(registry: &mut ProcRegistry) {
+    registry.register(Arc::new(RmwAddProc));
+    registry.register(Arc::new(BlindProc));
+    registry.register(Arc::new(TransferProc));
+}

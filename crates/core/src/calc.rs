@@ -40,6 +40,7 @@
 //! erases post-point stable versions and resets their status bits.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -71,6 +72,14 @@ pub struct CalcStrategy {
     /// `checkpoint interval & 1` (same double-buffering discipline as the
     /// dirty tracker).
     tombstones: [Mutex<Vec<Key>>; 2],
+    /// `stable_status` polarity generation at the start of the current
+    /// full-checkpoint cycle; with [`PolarityBitVec::generation`] it lets
+    /// [`CalcStrategy::settle_insert_bit`] decide on which side of
+    /// `SwapAvailableAndNotAvailable` an insert's status-bit write lands
+    /// (unused in partial mode, which never swaps).
+    ///
+    /// [`PolarityBitVec::generation`]: calc_common::bitvec::PolarityBitVec::generation
+    cycle_start_gen: AtomicU64,
 }
 
 impl CalcStrategy {
@@ -92,12 +101,68 @@ impl CalcStrategy {
             partial,
             tracker: partial.then(|| BitVecTracker::new(capacity)),
             tombstones: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+            cycle_start_gen: AtomicU64::new(0),
         }
     }
 
     /// The underlying store (tests / diagnostics).
     pub fn store(&self) -> &DualVersionStore {
         &self.store
+    }
+
+    /// Settles a freshly inserted slot's status bit against the *current*
+    /// phase and polarity generation (full mode only).
+    ///
+    /// The bit written by `insert_with_status` is derived from the
+    /// transaction's start phase, but a transaction that starts during
+    /// COMPLETE is never drained before `SwapAvailableAndNotAvailable`:
+    /// its "not available" bit, written under the old polarity, reads
+    /// "available with no stable version" after the swap, and the next
+    /// capture scan would wrongly exclude the record from a checkpoint
+    /// whose watermark covers its commit. The correct bit depends on which
+    /// side of the swap the write lands:
+    ///
+    /// * phase ≥ RESOLVE in the cycle that started at `cycle_start_gen`
+    ///   (swap still pending) → marked, so the pending swap flips it to
+    ///   unmarked;
+    /// * otherwise (REST/PREPARE, or the swap already happened) →
+    ///   unmarked as-is.
+    ///
+    /// A seqlock-style generation bracket redoes the write if the swap
+    /// races it. Read order matters: the phase is read *before*
+    /// `cycle_start_gen`, so observing phase ≥ RESOLVE happens-after the
+    /// checkpointer's generation store (release-ordered via the
+    /// transition) and the `g1 == start` comparison cannot use a stale
+    /// previous-cycle value while `g1` is current.
+    /// Whether `token` itself inserted the record occupying `slot` —
+    /// i.e. the slot's live value is this transaction's own uncommitted
+    /// write, so it must never be copied as a checkpoint pre-image.
+    /// (Slots are not reused within a transaction: deletes release them
+    /// only at commit, so a slot id is unambiguous here.)
+    fn self_inserted(token: &TxnToken, slot: calc_storage::SlotId) -> bool {
+        token
+            .writes
+            .iter()
+            .any(|w| w.slot == slot && w.kind == WriteKind::Insert)
+    }
+
+    fn settle_insert_bit(&self, slot: usize) {
+        let status = self.store.stable_status();
+        loop {
+            let g1 = status.generation();
+            let phase = self.phases.log().current_stamp().phase;
+            let start = self.cycle_start_gen.load(Ordering::SeqCst);
+            let after_point = g1 == start
+                && matches!(phase, Phase::Resolve | Phase::Capture | Phase::Complete);
+            if after_point {
+                status.mark(slot);
+            } else {
+                status.unmark(slot);
+            }
+            if status.generation() == g1 {
+                return;
+            }
+        }
     }
 
     /// The phase controller (shared with the engine's transaction path).
@@ -145,6 +210,12 @@ impl CalcStrategy {
         let start = Instant::now();
         let id = self.phases.log().current_stamp().cycle;
 
+        // Record the polarity generation for this cycle *before* PREPARE
+        // becomes visible: any transaction that later observes a phase ≥
+        // RESOLVE is guaranteed (via the transition's release ordering) to
+        // read this value or a newer one in `settle_insert_bit`.
+        self.cycle_start_gen
+            .store(self.store.stable_status().generation(), Ordering::SeqCst);
         self.phases.transition(Phase::Prepare);
         self.phases.drain_others(Phase::Prepare);
         // The virtual point of consistency.
@@ -369,15 +440,27 @@ impl CheckpointStrategy for CalcStrategy {
         match token.stamp.phase {
             Phase::Prepare => {
                 // Provisional pre-image: kept or discarded by the commit
-                // hook depending on the commit phase.
-                if !status.is_marked(slot as usize) && !g.has_stable() {
+                // hook depending on the commit phase. Never copy a record
+                // this same transaction inserted — its live value is our
+                // own uncommitted write, not a committed point value, and
+                // a RESOLVE commit would wrongly promote it to the
+                // checkpoint (resurrecting a key deleted before the
+                // point). The insert slot stays stable-less; the commit
+                // hook's mark makes the scan exclude it, which is correct
+                // on both sides of the point.
+                if !status.is_marked(slot as usize)
+                    && !g.has_stable()
+                    && !Self::self_inserted(token, slot)
+                {
                     g.copy_live_to_stable();
                     created = true;
                 }
             }
             Phase::Resolve | Phase::Capture => {
                 // Definitely after the point of consistency: preserve the
-                // point value and mark it available.
+                // point value and mark it available. (A slot this txn
+                // inserted was already marked by `apply_insert`, so the
+                // guard below never copies our own uncommitted value.)
                 if !status.is_marked(slot as usize) {
                     if !g.has_stable() {
                         g.copy_live_to_stable();
@@ -413,6 +496,9 @@ impl CheckpointStrategy for CalcStrategy {
         let marked = matches!(token.stamp.phase, Phase::Resolve | Phase::Capture);
         match self.store.insert_with_status(key, value, marked) {
             Ok(slot) => {
+                if !self.partial {
+                    self.settle_insert_bit(slot as usize);
+                }
                 token.writes.push(WriteRec {
                     key,
                     slot,
@@ -439,7 +525,13 @@ impl CheckpointStrategy for CalcStrategy {
         let mut created = false;
         match token.stamp.phase {
             Phase::Prepare => {
-                if !status.is_marked(slot as usize) && !g.has_stable() {
+                // Same self-insert guard as `apply_write`: deleting a
+                // record this transaction created must not preserve our
+                // own uncommitted value as a "pre-image".
+                if !status.is_marked(slot as usize)
+                    && !g.has_stable()
+                    && !Self::self_inserted(token, slot)
+                {
                     g.copy_live_to_stable();
                     created = true;
                 }

@@ -73,7 +73,12 @@ impl PhaseController {
     /// returns its sequence. Entering RESOLVE marks the virtual point of
     /// consistency; the returned sequence is the checkpoint watermark.
     pub fn transition(&self, to: Phase) -> CommitSeq {
-        self.log.append_phase_transition(to)
+        let seq = self.log.append_phase_transition(to);
+        // Widen the window between publishing the new stamp and whatever
+        // the checkpointer does next — the racy interval where commits
+        // straddle the transition.
+        calc_common::perturb::point(calc_common::perturb::Site::PhaseTransition);
+        seq
     }
 
     /// Blocks until every active transaction has `start-phase == current`

@@ -399,6 +399,156 @@ fn consecutive_checkpoints_remain_consistent() {
     }
 }
 
+/// Spins until the commit log reports `phase`, panicking after ~10s.
+fn spin_until_phase(log: &CommitLog, phase: calc_common::phase::Phase) {
+    for _ in 0..1_000_000 {
+        if log.current_stamp().phase == phase {
+            return;
+        }
+        std::thread::yield_now();
+    }
+    panic!("phase {phase:?} never reached");
+}
+
+/// Regression: a PREPARE-started transaction that inserts a key and then
+/// updates it in the same transaction must not copy its *own uncommitted
+/// insert* as a provisional pre-image. When such a transaction commits in
+/// RESOLVE (after the point of consistency), the commit hook marks its
+/// slots; with the bogus stable version in place the capture scan would
+/// emit the transaction's own value as the "point value" — resurrecting a
+/// key that was absent at the point. Found by the conformance harness
+/// (pCALC ghost record under checkpoint contention); affects full CALC
+/// identically.
+fn self_insert_preimage_case(partial: bool) {
+    use calc_common::phase::Phase;
+    let h = Arc::new(build(partial, 4));
+    let dir = Arc::new(dirs(if partial { "selfins-p" } else { "selfins-f" }));
+    if partial {
+        h.strategy.write_base_checkpoint(&dir).unwrap();
+    }
+    let ghost = Key(100); // absent at the point of consistency
+
+    // Rest-started holder: keeps the PREPARE drain open so the next
+    // txn_begin is guaranteed to land in PREPARE.
+    let t0 = h.strategy.txn_begin();
+    let (hc, dc) = (h.clone(), dir.clone());
+    let checkpointer =
+        std::thread::spawn(move || hc.strategy.checkpoint(&NoopEnv, &dc).unwrap().watermark);
+
+    spin_until_phase(&h.log, Phase::Prepare);
+    let mut t1 = h.strategy.txn_begin();
+    assert_eq!(t1.stamp.phase, Phase::Prepare);
+    assert!(h.strategy.apply_insert(&mut t1, ghost, b"own-insert").unwrap());
+    h.strategy.apply_write(&mut t1, ghost, b"own-update").unwrap();
+
+    // Release the PREPARE drain; the checkpointer takes the point of
+    // consistency and then blocks in the RESOLVE drain on t1.
+    h.strategy.txn_end(t0);
+    spin_until_phase(&h.log, Phase::Resolve);
+    let (seq, stamp) = h
+        .log
+        .append_commit(TxnId(0xBAD), ProcId(0), Arc::from(&b""[..]));
+    assert_eq!(stamp.phase, Phase::Resolve);
+    h.strategy.on_commit(&mut t1, seq, stamp);
+    h.strategy.txn_end(t1);
+
+    let watermark = checkpointer.join().unwrap();
+    assert!(seq > watermark, "commit must land after the point");
+
+    // The checkpoint file at `watermark` must not mention the ghost key
+    // (neither a value nor a tombstone — it never existed at the point).
+    let metas = dir.scan().unwrap();
+    let state = checkpoint_state(&metas.last().unwrap().path);
+    assert!(
+        !state.contains_key(&ghost),
+        "transaction's own uncommitted insert leaked into the checkpoint"
+    );
+    // The live record itself survives with the final value.
+    assert_eq!(
+        h.strategy.get(ghost).as_deref(),
+        Some(&b"own-update"[..]),
+        "live record lost"
+    );
+}
+
+#[test]
+fn full_checkpoint_excludes_self_inserted_preimage() {
+    self_insert_preimage_case(false);
+}
+
+#[test]
+fn partial_checkpoint_excludes_self_inserted_preimage() {
+    self_insert_preimage_case(true);
+}
+
+/// Regression: a transaction that *starts* during COMPLETE is never
+/// drained before `SwapAvailableAndNotAvailable`, so its insert's status
+/// bit is written under the old polarity. Without swap-generation
+/// settling, the bit read "available with no stable version" after the
+/// swap and the *next* capture scan dropped the record from a checkpoint
+/// whose watermark covered its commit. Found by the conformance harness
+/// (TPC-C order rows missing from full CALC checkpoints).
+fn complete_started_insert_case(partial: bool) {
+    use calc_common::phase::Phase;
+    let h = Arc::new(build(partial, 4));
+    let dir = Arc::new(dirs(if partial { "lateins-p" } else { "lateins-f" }));
+    if partial {
+        h.strategy.write_base_checkpoint(&dir).unwrap();
+    }
+    let key = Key(300);
+
+    let t0 = h.strategy.txn_begin(); // Rest-started: holds the PREPARE drain
+    let (hc, dc) = (h.clone(), dir.clone());
+    let checkpointer =
+        std::thread::spawn(move || hc.strategy.checkpoint(&NoopEnv, &dc).unwrap().watermark);
+
+    spin_until_phase(&h.log, Phase::Prepare);
+    let t1 = h.strategy.txn_begin(); // Prepare-started: holds the RESOLVE drain
+    h.strategy.txn_end(t0);
+    spin_until_phase(&h.log, Phase::Resolve);
+    let t2 = h.strategy.txn_begin(); // Resolve-started: holds the COMPLETE drain
+    h.strategy.txn_end(t1);
+    spin_until_phase(&h.log, Phase::Complete);
+
+    // The polarity swap (full) / cleanup (partial) cannot run until t2
+    // ends, so this insert deterministically lands inside the COMPLETE
+    // window, before the swap.
+    let mut t3 = h.strategy.txn_begin();
+    assert_eq!(t3.stamp.phase, Phase::Complete);
+    assert!(h.strategy.apply_insert(&mut t3, key, b"late-insert").unwrap());
+    let (seq, stamp) = h
+        .log
+        .append_commit(TxnId(0x1A7E), ProcId(0), Arc::from(&b""[..]));
+    assert_eq!(stamp.phase, Phase::Complete);
+    h.strategy.on_commit(&mut t3, seq, stamp);
+    h.strategy.txn_end(t3);
+    h.strategy.txn_end(t2);
+    let wm1 = checkpointer.join().unwrap();
+    assert!(seq > wm1, "commit must be outside the first checkpoint");
+
+    // The next checkpoint's watermark covers the commit, so the record
+    // must be captured.
+    let stats = h.strategy.checkpoint(&NoopEnv, &dir).unwrap();
+    assert!(stats.watermark >= seq);
+    let metas = dir.scan().unwrap();
+    let state = checkpoint_state(&metas.last().unwrap().path);
+    assert_eq!(
+        state.get(&key).map(|v| &v[..]),
+        Some(&b"late-insert"[..]),
+        "COMPLETE-started insert missing from the covering checkpoint"
+    );
+}
+
+#[test]
+fn full_checkpoint_captures_complete_started_insert() {
+    complete_started_insert_case(false);
+}
+
+#[test]
+fn partial_checkpoint_captures_complete_started_insert() {
+    complete_started_insert_case(true);
+}
+
 #[test]
 fn memory_returns_to_baseline_after_checkpoint() {
     // CALC's memory claim (Figure 6): extra copies only exist during the

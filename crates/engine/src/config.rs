@@ -185,6 +185,11 @@ pub struct EngineConfig {
     /// the real one ([`OsVfs`]); crash-simulation tests substitute a
     /// fault-injecting [`calc_common::simfs::SimVfs`].
     pub vfs: Arc<dyn Vfs>,
+    /// History recorder for the conformance harness (`calc-conform`).
+    /// `None` (the default) records nothing and costs one pointer check
+    /// per operation; the field only exists under the `conform` feature.
+    #[cfg(feature = "conform")]
+    pub recorder: Option<Arc<crate::recorder::HistoryRecorder>>,
 }
 
 impl EngineConfig {
@@ -205,6 +210,8 @@ impl EngineConfig {
             merge_batch: None,
             command_log_path: None,
             vfs: Arc::new(OsVfs),
+            #[cfg(feature = "conform")]
+            recorder: None,
         }
     }
 }

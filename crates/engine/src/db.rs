@@ -41,6 +41,44 @@ struct Request {
     reply: Option<Sender<TxnOutcome>>,
 }
 
+/// Messages to the durable command-log thread.
+enum CmdlogMsg {
+    /// Append this commit to the log (group-committed).
+    Record(CommitRecord),
+    /// Sync everything appended so far, then acknowledge.
+    Flush(Sender<()>),
+}
+
+/// How long shutdown waits for a background thread before declaring the
+/// engine hung. Generous: a loaded drain of a deep queue is legitimate;
+/// a thread that makes no exit progress for this long is not.
+const SHUTDOWN_JOIN_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Joins `handle`, polling with a deadline instead of blocking forever,
+/// so a wedged background thread turns into a diagnosable panic rather
+/// than a silent test-suite hang. During an unwind (drop while
+/// panicking) it degrades to a warning so the original panic surfaces.
+fn join_bounded(handle: std::thread::JoinHandle<()>, what: &str) {
+    let deadline = Instant::now() + SHUTDOWN_JOIN_TIMEOUT;
+    while !handle.is_finished() {
+        if Instant::now() >= deadline {
+            let msg = format!(
+                "Database shutdown hung: {what} thread made no exit progress for \
+                 {SHUTDOWN_JOIN_TIMEOUT:?} after the submission queue closed — \
+                 likely a transaction stuck on a lock queue or a checkpoint \
+                 wedged draining a phase"
+            );
+            if std::thread::panicking() {
+                eprintln!("{msg} (suppressed: already panicking)");
+                return;
+            }
+            panic!("{msg}");
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = handle.join();
+}
+
 struct Inner {
     strategy: Arc<dyn CheckpointStrategy>,
     log: Arc<CommitLog>,
@@ -63,10 +101,12 @@ struct Inner {
     mergers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Durable command-log channel (None when command logging is off).
     /// Taken (closed) at shutdown so the logger thread drains and syncs.
-    cmdlog_tx: Mutex<Option<Sender<CommitRecord>>>,
+    cmdlog_tx: Mutex<Option<Sender<CmdlogMsg>>>,
     partials_since_merge: AtomicU64,
     merge_batch: Option<usize>,
     kind: StrategyKind,
+    #[cfg(feature = "conform")]
+    recorder: Option<Arc<crate::recorder::HistoryRecorder>>,
 }
 
 impl EngineEnv for Inner {
@@ -109,14 +149,14 @@ impl Database {
         let (cmdlog_tx, cmdlogger) = match &config.command_log_path {
             Some(path) => {
                 let mut writer = CommandLogWriter::create_with_vfs(config.vfs.as_ref(), path)?;
-                let (tx, rx) = unbounded::<CommitRecord>();
+                let (tx, rx) = unbounded::<CmdlogMsg>();
                 let handle = std::thread::Builder::new()
                     .name("calc-cmdlog".into())
                     .spawn(move || {
                         let mut pending = 0u32;
                         loop {
                             match rx.recv_timeout(Duration::from_millis(10)) {
-                                Ok(rec) => {
+                                Ok(CmdlogMsg::Record(rec)) => {
                                     if writer.append(&rec).is_err() {
                                         return;
                                     }
@@ -125,6 +165,11 @@ impl Database {
                                         let _ = writer.sync();
                                         pending = 0;
                                     }
+                                }
+                                Ok(CmdlogMsg::Flush(ack)) => {
+                                    let _ = writer.sync();
+                                    pending = 0;
+                                    let _ = ack.send(());
                                 }
                                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                                     if pending > 0 {
@@ -160,6 +205,8 @@ impl Database {
             partials_since_merge: AtomicU64::new(0),
             merge_batch: config.merge_batch,
             kind: config.strategy,
+            #[cfg(feature = "conform")]
+            recorder: config.recorder.clone(),
         });
 
         let (tx, rx) = match config.queue_capacity {
@@ -187,6 +234,10 @@ impl Database {
 
     /// Bulk-loads a record (before any transactions run).
     pub fn load_initial(&self, key: Key, value: &[u8]) -> Result<(), StoreError> {
+        #[cfg(feature = "conform")]
+        if let Some(rec) = self.inner.recorder.as_ref() {
+            rec.record_initial(key, value);
+        }
         self.inner.strategy.load_initial(key, value)
     }
 
@@ -369,24 +420,43 @@ impl Database {
     fn stop_threads(&mut self) {
         drop(self.sender.take());
         for w in self.workers.drain(..) {
-            let _ = w.join();
+            join_bounded(w, "worker");
         }
-        self.join_mergers();
+        for h in self.inner.mergers.lock().drain(..) {
+            join_bounded(h, "merger");
+        }
         // Close the command-log channel and wait for the final group
         // commit, so the on-disk log is complete when drop returns.
         drop(self.inner.cmdlog_tx.lock().take());
         if let Some(h) = self.cmdlogger.take() {
-            let _ = h.join();
+            join_bounded(h, "command logger");
         }
     }
 
-    /// Forces an fsync of the durable command log by cycling a group
-    /// commit: waits until every record sent so far is durable. No-op
-    /// without command logging.
+    /// Forces an fsync of the durable command log: sends a flush request
+    /// to the logger thread and waits for its acknowledgement, so every
+    /// record enqueued before this call is durable on return. No-op
+    /// without command logging. Panics if the logger is wedged (or has
+    /// exited on an I/O error) rather than hanging forever.
     pub fn sync_command_log(&self) {
-        if self.inner.cmdlog_tx.lock().is_some() {
-            // The logger syncs on a 10 ms idle timeout; wait two periods.
-            std::thread::sleep(Duration::from_millis(25));
+        let tx = self.inner.cmdlog_tx.lock().clone();
+        if let Some(tx) = tx {
+            let (ack_tx, ack_rx) = bounded(1);
+            if tx.send(CmdlogMsg::Flush(ack_tx)).is_err() {
+                panic!("sync_command_log: command logger exited before the flush (I/O error?)");
+            }
+            match ack_rx.recv_timeout(SHUTDOWN_JOIN_TIMEOUT) {
+                Ok(()) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    panic!("sync_command_log: command logger died mid-flush (I/O error?)");
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    panic!(
+                        "sync_command_log hung: no flush acknowledgement within \
+                         {SHUTDOWN_JOIN_TIMEOUT:?}"
+                    );
+                }
+            }
         }
     }
 }
@@ -436,13 +506,19 @@ fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
     let guard = inner.locks.acquire(&lockset);
 
     let mut token = inner.strategy.txn_begin();
+    #[cfg(feature = "conform")]
+    let start_stamp = token.stamp;
     let mut ops = ExecOps {
         strategy: inner.strategy.as_ref(),
         token: &mut token,
         undo: Vec::new(),
         failed: None,
+        #[cfg(feature = "conform")]
+        trace: inner.recorder.as_ref().map(|_| Vec::new()),
     };
     let result = proc.run(&req.params, &mut ops);
+    #[cfg(feature = "conform")]
+    let trace = ops.trace.take();
     let ExecOps {
         mut undo, failed, ..
     } = ops;
@@ -460,16 +536,27 @@ fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
                     .log
                     .append_commit(txn_id, req.proc, req.params.clone());
                 if let Some(tx) = cmdlog.as_ref() {
-                    let _ = tx.send(CommitRecord {
+                    let _ = tx.send(CmdlogMsg::Record(CommitRecord {
                         seq,
                         txn: txn_id,
                         proc: req.proc,
                         params: req.params.clone(),
-                    });
+                    }));
                 }
                 (seq, stamp)
             };
             inner.strategy.on_commit(&mut token, seq, stamp);
+            #[cfg(feature = "conform")]
+            if let Some(rec) = inner.recorder.as_ref() {
+                rec.record(crate::recorder::RecordedTxn {
+                    seq,
+                    txn: txn_id,
+                    proc: req.proc,
+                    start: start_stamp,
+                    commit: stamp,
+                    ops: trace.unwrap_or_default(),
+                });
+            }
             TxnOutcome::Committed(seq)
         }
         (Err(e), _) | (Ok(()), Some(e)) => {
@@ -498,14 +585,33 @@ struct ExecOps<'a> {
     token: &'a mut TxnToken,
     undo: Vec<UndoRec>,
     failed: Option<AbortReason>,
+    /// Operation trace for the conformance recorder; `Some` only when a
+    /// recorder is attached to the engine.
+    #[cfg(feature = "conform")]
+    trace: Option<Vec<crate::recorder::RecordedOp>>,
 }
 
 impl TxnOps for ExecOps<'_> {
     fn get(&mut self, key: Key) -> Option<Value> {
-        self.strategy.get(key)
+        let observed = self.strategy.get(key);
+        #[cfg(feature = "conform")]
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(crate::recorder::RecordedOp::Get {
+                key,
+                observed: observed.clone(),
+            });
+        }
+        observed
     }
 
     fn put(&mut self, key: Key, value: &[u8]) {
+        #[cfg(feature = "conform")]
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(crate::recorder::RecordedOp::Put {
+                key,
+                value: value.into(),
+            });
+        }
         match self.strategy.apply_write(self.token, key, value) {
             Ok(Some(old)) => self.undo.push(UndoRec {
                 key,
@@ -523,7 +629,7 @@ impl TxnOps for ExecOps<'_> {
     }
 
     fn insert(&mut self, key: Key, value: &[u8]) -> bool {
-        match self.strategy.apply_insert(self.token, key, value) {
+        let inserted = match self.strategy.apply_insert(self.token, key, value) {
             Ok(true) => {
                 self.undo.push(UndoRec {
                     key,
@@ -537,11 +643,20 @@ impl TxnOps for ExecOps<'_> {
                     .get_or_insert_with(|| AbortReason::Logic(format!("insert failed: {e}")));
                 false
             }
+        };
+        #[cfg(feature = "conform")]
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(crate::recorder::RecordedOp::Insert {
+                key,
+                value: value.into(),
+                inserted,
+            });
         }
+        inserted
     }
 
     fn delete(&mut self, key: Key) -> bool {
-        match self.strategy.apply_delete(self.token, key) {
+        let deleted = match self.strategy.apply_delete(self.token, key) {
             Ok(Some(old)) => {
                 self.undo.push(UndoRec {
                     key,
@@ -555,7 +670,12 @@ impl TxnOps for ExecOps<'_> {
                     .get_or_insert_with(|| AbortReason::Logic(format!("delete failed: {e}")));
                 false
             }
+        };
+        #[cfg(feature = "conform")]
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(crate::recorder::RecordedOp::Delete { key, deleted });
         }
+        deleted
     }
 }
 
@@ -720,6 +840,27 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_under_load_drains_and_completes() {
+        // Shutdown with a deep backlog must drain every submitted
+        // transaction and return promptly — regression test for the
+        // bounded join: a wedged worker now panics with a diagnosis
+        // instead of hanging the suite forever.
+        let db = db(StrategyKind::Calc, "shutdown-load");
+        for i in 0..5000u64 {
+            db.submit(ProcId(1), add_params(i % 64, 1, u64::MAX));
+        }
+        let metrics = db.metrics().clone();
+        let start = Instant::now();
+        db.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "shutdown took {:?} under load",
+            start.elapsed()
+        );
+        assert_eq!(metrics.committed(), 5000, "shutdown dropped queued txns");
+    }
+
+    #[test]
     fn merge_batch_triggers_background_collapse() {
         let dir = std::env::temp_dir().join(format!(
             "calc-engine-{}-mergebatch",
@@ -857,6 +998,47 @@ mod cmdlog_tests {
         for pair in records.windows(2) {
             assert!(pair[0].seq < pair[1].seq);
         }
+    }
+
+    #[test]
+    fn sync_command_log_flush_handshake_is_deterministic() {
+        // sync_command_log must make every previously-enqueued record
+        // durable before returning — a real flush handshake, not a sleep
+        // hoping the idle-timeout sync has happened.
+        let base = std::env::temp_dir().join(format!(
+            "calc-cmdlog-sync-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        std::fs::create_dir_all(&base).unwrap();
+        let log_path = base.join("commands.log");
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(SetProc));
+        let mut config = EngineConfig::new(StrategyKind::Calc, 1024, 16, base.join("ckpts"));
+        config.command_log_path = Some(log_path.clone());
+        config.workers = 2;
+        let db = Database::open(config, registry).unwrap();
+        for round in 1..=3u64 {
+            for i in 0..40u64 {
+                db.execute(ProcId(1), params::Writer::new().u64(i).u64(round).finish());
+            }
+            db.sync_command_log();
+            // The database is still live; the synced prefix must already
+            // be on disk.
+            let records = calc_recovery::CommandLogReader::open(&log_path)
+                .unwrap()
+                .read_all()
+                .unwrap();
+            assert_eq!(
+                records.len() as u64,
+                40 * round,
+                "round {round}: flush acknowledged but records not durable"
+            );
+        }
+        db.shutdown();
     }
 }
 

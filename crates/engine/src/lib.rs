@@ -22,6 +22,8 @@
 pub mod config;
 pub mod db;
 pub mod metrics;
+#[cfg(feature = "conform")]
+pub mod recorder;
 
 pub use config::{EngineConfig, StrategyKind};
 pub use db::{Database, TxnOutcome};

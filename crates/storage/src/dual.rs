@@ -176,6 +176,17 @@ impl DualVersionStore {
             let slot = self.slot_of(key)?;
             let g = self.slots[slot as usize].lock();
             if g.in_use && g.key == key.0 {
+                #[cfg(feature = "mutation-hooks")]
+                if calc_common::mutation::armed(
+                    calc_common::mutation::Mutation::StaleStableRead,
+                ) {
+                    // Seeded bug: prefer the stable (checkpoint pre-image)
+                    // version when one exists — readers see stale values
+                    // for the duration of a checkpoint window.
+                    if let Some(stable) = g.stable.as_ref() {
+                        return Some(stable.as_slice().into());
+                    }
+                }
                 return g.live.as_ref().cloned();
             }
             // The slot was freed and reused between lookup and lock — the
@@ -425,6 +436,7 @@ impl<'a> DualSlotGuard<'a> {
         if self.inner.stable.is_some() {
             return;
         }
+        calc_common::perturb::point(calc_common::perturb::Site::StableInstall);
         if let Some(ref live) = self.inner.live {
             self.inner.stable = Some(self.store.pool.acquire(live));
         }

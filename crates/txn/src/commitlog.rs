@@ -177,7 +177,18 @@ impl CommitLog {
     ) -> (CommitSeq, PhaseStamp) {
         let mut inner = self.inner.lock();
         let seq = CommitSeq(self.next_seq.fetch_add(1, Ordering::AcqRel));
-        let stamp = PhaseStamp::decode(self.stamp.load(Ordering::Relaxed));
+        #[allow(unused_mut)]
+        let mut stamp = PhaseStamp::decode(self.stamp.load(Ordering::Relaxed));
+        #[cfg(feature = "mutation-hooks")]
+        if calc_common::mutation::armed(calc_common::mutation::Mutation::LatePhaseStamp)
+            && stamp.phase == Phase::Prepare
+        {
+            // Seeded bug: report the stamp as if it had been read *after*
+            // a racing PREPARE→RESOLVE transition instead of under the log
+            // mutex. The commit's updates then get classified to the wrong
+            // side of the virtual point of consistency.
+            stamp.phase = Phase::Resolve;
+        }
         if self.retain {
             inner.entries.push(LogEntry::Commit(CommitRecord {
                 seq,

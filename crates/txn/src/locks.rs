@@ -105,11 +105,21 @@ impl LockManager {
         // dedup keeps the first (strongest) mode.
         locks.dedup_by_key(|(k, _)| *k);
 
+        #[cfg(feature = "mutation-hooks")]
+        if calc_common::mutation::armed(calc_common::mutation::Mutation::SkipLock) {
+            // Seeded bug: grant everything in shared mode. Writers stop
+            // excluding each other and hot-key RMW chains lose updates.
+            for l in &mut locks {
+                l.1 = LockMode::Shared;
+            }
+        }
+
         let req_id = self
             .next_req
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         for &(key, mode) in &locks {
             self.lock_one(key, mode, req_id);
+            calc_common::perturb::point(calc_common::perturb::Site::LockGrant);
         }
         LockSetGuard {
             mgr: self,
@@ -155,6 +165,7 @@ impl LockManager {
     }
 
     fn unlock_one(&self, key: Key, mode: LockMode) {
+        calc_common::perturb::point(calc_common::perturb::Site::LockRelease);
         let shard = self.shard_of(key);
         let mut table = shard.table.lock();
         let entry = table
@@ -395,6 +406,177 @@ mod tests {
             let _g = mgr.acquire(&[(Key(3), LockMode::Exclusive)]);
             assert_eq!(mgr.active_keys(), 1);
         }
+        assert_eq!(mgr.active_keys(), 0);
+    }
+
+    /// Spawns a thread that acquires `mode` on `key`, records `tag` in
+    /// `order` at grant time, holds briefly, and releases. Used by the
+    /// FIFO tests; the caller sleeps between spawns to pin arrival order.
+    fn queued_locker(
+        mgr: &Arc<LockManager>,
+        order: &Arc<Mutex<Vec<&'static str>>>,
+        key: Key,
+        mode: LockMode,
+        tag: &'static str,
+        hold: Duration,
+    ) -> std::thread::JoinHandle<()> {
+        let mgr = mgr.clone();
+        let order = order.clone();
+        std::thread::spawn(move || {
+            let g = mgr.acquire(&[(key, mode)]);
+            order.lock().push(tag);
+            std::thread::sleep(hold);
+            g.release();
+        })
+    }
+
+    #[test]
+    fn fifo_grant_order_matches_arrival_order() {
+        // Holder has X. Queue (in arrival order): W1(X), R1(S), W2(X),
+        // R2(S). FIFO granting must produce exactly that grant order:
+        // R1 cannot jump W1 or W2 cannot jump R1, etc.
+        let mgr = Arc::new(LockManager::new(4));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let holder = mgr.acquire(&[(Key(7), LockMode::Exclusive)]);
+
+        let hold = Duration::from_millis(10);
+        let mut handles = Vec::new();
+        for (mode, tag) in [
+            (LockMode::Exclusive, "W1"),
+            (LockMode::Shared, "R1"),
+            (LockMode::Exclusive, "W2"),
+            (LockMode::Shared, "R2"),
+        ] {
+            handles.push(queued_locker(&mgr, &order, Key(7), mode, tag, hold));
+            // Ensure the request is enqueued before the next arrives.
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        holder.release();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            order.lock().as_slice(),
+            &["W1", "R1", "W2", "R2"],
+            "grants did not follow FIFO arrival order"
+        );
+        assert_eq!(mgr.active_keys(), 0);
+    }
+
+    #[test]
+    fn consecutive_shared_waiters_granted_as_a_batch() {
+        // Holder has X; three readers queue behind it. On release, all
+        // three must be granted together (their holds overlap), not one
+        // at a time.
+        let mgr = Arc::new(LockManager::new(4));
+        let holder = mgr.acquire(&[(Key(11), LockMode::Exclusive)]);
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let mgr = mgr.clone();
+                let concurrent = concurrent.clone();
+                let peak = peak.clone();
+                std::thread::spawn(move || {
+                    let g = mgr.acquire(&[(Key(11), LockMode::Shared)]);
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(50));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                    g.release();
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(60));
+        holder.release();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "queued shared waiters were granted one at a time (peak {})",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(mgr.active_keys(), 0);
+    }
+
+    #[test]
+    fn writer_acquires_under_continuous_read_storm() {
+        // 4 reader threads re-acquire S on one key in a tight loop; after
+        // the storm is running, one writer requests X. FIFO queueing must
+        // let the writer through promptly even though shared holders are
+        // always present when it arrives.
+        let mgr = Arc::new(LockManager::new(4));
+        let stop = Arc::new(AtomicUsize::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let mgr = mgr.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut grants = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let g = mgr.acquire(&[(Key(13), LockMode::Shared)]);
+                        std::hint::black_box(&g);
+                        grants += 1;
+                        g.release();
+                    }
+                    grants
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let writer_start = std::time::Instant::now();
+        let g = mgr.acquire(&[(Key(13), LockMode::Exclusive)]);
+        let waited = writer_start.elapsed();
+        g.release();
+        stop.store(1, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert!(
+            waited < Duration::from_secs(5),
+            "writer starved for {waited:?} under read storm"
+        );
+    }
+
+    #[test]
+    fn overlapping_multi_key_sets_sorted_and_deduped() {
+        // A messy multi-key request with S/X overlap on the same keys must
+        // come out sorted by key with the strongest mode per key.
+        let mgr = Arc::new(LockManager::new(4));
+        let g = mgr.acquire(&[
+            (Key(30), LockMode::Shared),
+            (Key(10), LockMode::Exclusive),
+            (Key(20), LockMode::Shared),
+            (Key(30), LockMode::Exclusive),
+            (Key(10), LockMode::Shared),
+            (Key(20), LockMode::Shared),
+        ]);
+        assert_eq!(
+            g.held(),
+            &[
+                (Key(10), LockMode::Exclusive),
+                (Key(20), LockMode::Shared),
+                (Key(30), LockMode::Exclusive),
+            ]
+        );
+        // A second overlapping set from another thread must not deadlock
+        // against us (sorted acquisition) and must block only on the
+        // conflicting keys.
+        let m2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            let g2 = m2.acquire(&[
+                (Key(20), LockMode::Exclusive),
+                (Key(30), LockMode::Shared),
+                (Key(20), LockMode::Shared),
+            ]);
+            assert_eq!(
+                g2.held(),
+                &[(Key(20), LockMode::Exclusive), (Key(30), LockMode::Shared)]
+            );
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        g.release();
+        h.join().unwrap();
         assert_eq!(mgr.active_keys(), 0);
     }
 }

@@ -158,6 +158,106 @@ fn full_mix_runs_with_checkpointing() {
 }
 
 #[test]
+fn full_mix_consistency_audit() {
+    // TPC-C §3.3-style consistency conditions after a long full-mix run
+    // with checkpoints interleaved: money columns, the order book, and the
+    // delivery cursors must all agree.
+    let config = TpccConfig::small();
+    let db = open(&config, "audit");
+    let mut wl = TpccWorkload::new(config.clone(), 7);
+    wl.populate(&db);
+    db.finalize_load(false).unwrap();
+    for i in 0..800 {
+        let (proc, p) = wl.next_request_full_mix(&db);
+        db.execute(proc, p);
+        if i % 250 == 249 {
+            db.checkpoint_now().unwrap();
+        }
+    }
+
+    let mut delivered_orders = 0u64;
+    for w in 0..config.warehouses {
+        // Condition 1 (§3.3.2.1 analog): W_YTD grew by exactly the sum of
+        // the warehouse's district YTD growth — Payment adds the same
+        // amount to both rows inside one transaction.
+        let warehouse = tables::Warehouse::decode(&db.get(keys::warehouse(w)).unwrap()).unwrap();
+        let district_ytd_delta: u64 = (0..config.districts)
+            .map(|d| {
+                tables::District::decode(&db.get(keys::district(w, d)).unwrap())
+                    .unwrap()
+                    .ytd_cents
+                    - 3_000_000
+            })
+            .sum();
+        assert_eq!(
+            warehouse.ytd_cents - 30_000_000,
+            district_ytd_delta,
+            "w{w}: warehouse YTD out of sync with districts"
+        );
+
+        for d in 0..config.districts {
+            let district =
+                tables::District::decode(&db.get(keys::district(w, d)).unwrap()).unwrap();
+            assert!(
+                district.next_deliv_o_id <= district.next_o_id,
+                "w{w} d{d}: delivery cursor ahead of order cursor"
+            );
+            // Conditions 2+3 (§3.3.2.2/.3 analog): every placed order has
+            // an ORDER row; a NEW_ORDER row exists iff the order is still
+            // undelivered; delivered orders are carrier-stamped with every
+            // line delivery-dated, undelivered ones are not.
+            for o in 1..district.next_o_id {
+                let order =
+                    tables::Order::decode(&db.get(keys::order(w, d, o)).unwrap()).unwrap();
+                let undelivered = o >= district.next_deliv_o_id;
+                assert_eq!(
+                    db.get(keys::new_order(w, d, o)).is_some(),
+                    undelivered,
+                    "w{w} d{d} o{o}: NEW_ORDER row vs delivery cursor"
+                );
+                assert_eq!(
+                    order.carrier_id == 0,
+                    undelivered,
+                    "w{w} d{d} o{o}: carrier stamp vs delivery cursor"
+                );
+                for ol in 0..order.ol_cnt {
+                    let line = tables::OrderLine::decode(
+                        &db.get(keys::order_line(w, d, o, ol)).unwrap(),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        line.delivery_d == 0,
+                        undelivered,
+                        "w{w} d{d} o{o} line {ol}: delivery date vs cursor"
+                    );
+                }
+            }
+            assert!(
+                db.get(keys::new_order(w, d, district.next_o_id)).is_none(),
+                "w{w} d{d}: NEW_ORDER row beyond the order cursor"
+            );
+            // Condition 4: the delivery cursor equals the number of
+            // deliveries credited across this district's customers.
+            let delivery_cnt: u32 = (0..config.customers_per_district)
+                .map(|c| {
+                    tables::Customer::decode(&db.get(keys::customer(w, d, c)).unwrap())
+                        .unwrap()
+                        .delivery_cnt
+                })
+                .sum();
+            assert_eq!(
+                delivery_cnt,
+                district.next_deliv_o_id - 1,
+                "w{w} d{d}: customer delivery counts vs cursor"
+            );
+            delivered_orders += (district.next_deliv_o_id - 1) as u64;
+        }
+    }
+    // The audit is vacuous unless deliveries actually ran.
+    assert!(delivered_orders > 0, "mix produced no deliveries");
+}
+
+#[test]
 fn delivery_is_deterministic_for_replay() {
     // The same delivery params against the same state produce identical
     // results — required for command-log replay.

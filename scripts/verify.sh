@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Full verification gate: tier-1 (build + every workspace test) followed
-# by tier-2 (the deterministic crash-simulation suite in calc-sim,
-# including the 64-seed smoke sweep). Any sim failure panics with the
-# exact replayable spec — seed, strategy, fault kind and operation
-# index — reproducible via e.g.:
+# Full verification gate: tier-1 (build + every workspace test), tier-2
+# (the deterministic crash-simulation suite in calc-sim, including the
+# 64-seed smoke sweep), and tier-3 (the concurrency conformance suite in
+# calc-conform at three fixed base seeds). Any failure panics with the
+# exact replayable spec, reproducible via e.g.:
 #
 #   SIM_SEED=0xdeadbeef cargo test -p calc-sim
+#   CONFORM_SEED=0xc0f020260000 cargo verify-conform
+#
+# Each conformance test derives its per-run seeds from the base seed, so
+# overriding CONFORM_SEED replays the whole suite shifted to that base.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,5 +21,11 @@ cargo test --workspace --quiet
 
 echo "== tier-2: crash-simulation sweep (calc-sim) =="
 cargo test --package calc-sim --quiet
+
+echo "== tier-3: concurrency conformance (calc-conform, 3 base seeds) =="
+for seed in 0xC0F0202600000000 0x5EEDFACE00000001 0xA5A5A5A500000002; do
+    echo "  -- CONFORM_SEED=${seed}"
+    CONFORM_SEED="${seed}" cargo test --package calc-conform --quiet
+done
 
 echo "verify: all gates green"
