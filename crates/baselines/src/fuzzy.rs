@@ -56,6 +56,8 @@ pub struct FuzzyStrategy {
     /// slot.
     snapshot: Option<SnapshotArray>,
     snapshot_mem: MemCounter,
+    /// Cycles that failed and were rolled back harmlessly.
+    aborted: AtomicU64,
 }
 
 impl FuzzyStrategy {
@@ -80,6 +82,7 @@ impl FuzzyStrategy {
             upcoming: AtomicU64::new(0),
             snapshot: (!partial).then(|| (0..capacity).map(|_| Mutex::new(None)).collect()),
             snapshot_mem: MemCounter::new(),
+            aborted: AtomicU64::new(0),
         }
     }
 
@@ -283,7 +286,18 @@ impl CheckpointStrategy for FuzzyStrategy {
             watermark = self.log.last_seq();
             dirty = self.tracker.dirty_slots(id, self.store.slot_high_water());
             tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
-            self.persist_dirty_table(dir, id, &dirty)?;
+            if let Err(e) = self.persist_dirty_table(dir, id, &dirty) {
+                // Harmless failure before the interval flipped: re-queue
+                // the drained tombstones (no commit can race this — we are
+                // quiesced) and drop the half-written dirty table; the
+                // retry of interval `id` is then identical to this attempt.
+                self.tombstones[(id & 1) as usize].lock().extend(tombs.drain(..));
+                let _ = dir
+                    .vfs()
+                    .remove_file(&dir.path().join(format!(".dirtytab-{id:010}")));
+                self.aborted.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
             self.upcoming.fetch_add(1, Ordering::Release);
             Ok(())
         })?;
@@ -294,47 +308,80 @@ impl CheckpointStrategy for FuzzyStrategy {
         } else {
             CheckpointKind::Full
         };
-        let mut pending = dir.begin(kind, id, watermark)?;
-        if self.partial {
-            for key in &tombs {
-                pending.writer().write_tombstone(*key)?;
-            }
-            for &slot in &dirty {
-                let extracted = {
-                    let g = self.store.lock_slot(slot);
-                    if g.in_use() {
-                        g.live().map(|l| (g.key(), l.to_vec()))
-                    } else {
-                        None
+        let result = (|| -> io::Result<(u64, u64)> {
+            let mut pending = dir.begin(kind, id, watermark)?;
+            let scan = (|| -> io::Result<()> {
+                if self.partial {
+                    for key in &tombs {
+                        pending.writer().write_tombstone(*key)?;
                     }
-                };
-                if let Some((key, v)) = extracted {
-                    pending.writer().write_record(key, &v)?;
+                    for &slot in &dirty {
+                        let extracted = {
+                            let g = self.store.lock_slot(slot);
+                            if g.in_use() {
+                                g.live().map(|l| (g.key(), l.to_vec()))
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some((key, v)) = extracted {
+                            pending.writer().write_record(key, &v)?;
+                        }
+                    }
+                } else {
+                    // Merge dirty records into the in-memory snapshot, then
+                    // write the whole snapshot.
+                    for &slot in &dirty {
+                        let current = {
+                            let g = self.store.lock_slot(slot);
+                            if g.in_use() {
+                                g.live().map(|l| (g.key().0, l.to_vec().into_boxed_slice()))
+                            } else {
+                                None
+                            }
+                        };
+                        self.snapshot_set(slot, current);
+                    }
+                    let snapshot = self.snapshot.as_ref().expect("full variant");
+                    for entry in snapshot.iter().take(self.store.slot_high_water()) {
+                        let e = entry.lock();
+                        if let Some((k, v)) = e.as_ref() {
+                            pending.writer().write_record(Key(*k), v)?;
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            match scan {
+                Ok(()) => pending.publish(),
+                Err(e) => {
+                    pending.abandon();
+                    Err(e)
                 }
             }
-        } else {
-            // Merge dirty records into the in-memory snapshot, then write
-            // the whole snapshot.
-            for &slot in &dirty {
-                let current = {
-                    let g = self.store.lock_slot(slot);
-                    if g.in_use() {
-                        g.live().map(|l| (g.key().0, l.to_vec().into_boxed_slice()))
-                    } else {
-                        None
-                    }
-                };
-                self.snapshot_set(slot, current);
-            }
-            let snapshot = self.snapshot.as_ref().expect("full variant");
-            for entry in snapshot.iter().take(self.store.slot_high_water()) {
-                let e = entry.lock();
-                if let Some((k, v)) = e.as_ref() {
-                    pending.writer().write_record(Key(*k), v)?;
+        })();
+        let (records, bytes) = match result {
+            Ok(rb) => rb,
+            Err(e) => {
+                // The interval already flipped (commits now mark id + 1),
+                // so roll the failed cycle's consumed state *forward*:
+                // re-mark its dirty set and tombstones into id + 1 — the
+                // next flush reads then-current live values, which cover
+                // everything this one would have (snapshot merges, where
+                // already done, are idempotent) — and drop the now-orphaned
+                // dirty table.
+                for &slot in &dirty {
+                    self.tracker.mark(slot, id + 1);
                 }
+                self.tombstones[((id + 1) & 1) as usize].lock().extend(tombs);
+                let _ = dir
+                    .vfs()
+                    .remove_file(&dir.path().join(format!(".dirtytab-{id:010}")));
+                self.tracker.clear(id);
+                self.aborted.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
             }
-        }
-        let (records, bytes) = pending.publish()?;
+        };
         self.tracker.clear(id);
         Ok(CheckpointStats {
             id,
@@ -379,6 +426,10 @@ impl CheckpointStrategy for FuzzyStrategy {
 
     fn resume_checkpoint_ids(&self, next_id: u64) {
         self.upcoming.fetch_max(next_id, Ordering::AcqRel);
+    }
+
+    fn aborted_cycles(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
     }
 
     fn memory(&self) -> MemoryStats {

@@ -40,6 +40,8 @@ pub struct IppStrategy {
     upcoming: AtomicU64,
     /// High-water mark sealed at each flip (scan bound).
     sealed_high_water: AtomicU64,
+    /// Cycles that failed and were rolled back harmlessly.
+    aborted: AtomicU64,
 }
 
 impl IppStrategy {
@@ -61,6 +63,7 @@ impl IppStrategy {
             tombstones: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
             upcoming: AtomicU64::new(0),
             sealed_high_water: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
         }
     }
 
@@ -216,31 +219,76 @@ impl CheckpointStrategy for IppStrategy {
         } else {
             CheckpointKind::Full
         };
-        let mut pending = dir.begin(kind, id, watermark)?;
         let hw = self.sealed_high_water.load(Ordering::Acquire) as usize;
-        if self.partial {
-            for key in &tombs {
-                pending.writer().write_tombstone(*key)?;
-            }
-            for slot in 0..hw as SlotId {
-                if let Some((key, Some(v))) = self.store.consume_retired(slot, retired) {
-                    // (A `None` value is a deletion observed via the
-                    // retired copy itself: covered by the tombstone
-                    // buffer, nothing to write.)
-                    pending.writer().write_record(key, &v)?;
+        // pIPP only: values drained from the retired array so far. The
+        // drain is destructive, so a failed cycle must re-inject them into
+        // the current array (the in-progress file is thrown away).
+        let mut consumed: Vec<(SlotId, Key, Value)> = Vec::new();
+        let result = (|| -> io::Result<(u64, u64)> {
+            let mut pending = dir.begin(kind, id, watermark)?;
+            let scan = (|| -> io::Result<()> {
+                if self.partial {
+                    for key in &tombs {
+                        pending.writer().write_tombstone(*key)?;
+                    }
+                    for slot in 0..hw as SlotId {
+                        if let Some((key, Some(v))) = self.store.consume_retired(slot, retired) {
+                            // (A `None` value is a deletion observed via the
+                            // retired copy itself: covered by the tombstone
+                            // buffer, nothing to write.)
+                            let r = pending.writer().write_record(key, &v);
+                            consumed.push((slot, key, v));
+                            r?;
+                        }
+                    }
+                } else {
+                    // Merge the retired dirty values into the snapshot, then
+                    // write the full consistent snapshot.
+                    for slot in 0..hw as SlotId {
+                        self.store.consume_retired(slot, retired);
+                    }
+                    for (key, v) in self.store.snapshot_entries() {
+                        pending.writer().write_record(key, &v)?;
+                    }
+                }
+                Ok(())
+            })();
+            match scan {
+                Ok(()) => pending.publish(),
+                Err(e) => {
+                    pending.abandon();
+                    Err(e)
                 }
             }
-        } else {
-            // Merge the retired dirty values into the snapshot, then write
-            // the full consistent snapshot.
-            for slot in 0..hw as SlotId {
-                self.store.consume_retired(slot, retired);
+        })();
+        let (records, bytes) = match result {
+            Ok(rb) => rb,
+            Err(e) => {
+                // Harmless failure: the array already flipped, so finish
+                // draining the retired array, then put the failed cycle's
+                // state where the *next* cycle captures it.
+                if self.partial {
+                    for slot in 0..hw as SlotId {
+                        if let Some((key, Some(v))) = self.store.consume_retired(slot, retired) {
+                            consumed.push((slot, key, v));
+                        }
+                    }
+                    for (slot, key, v) in &consumed {
+                        self.store.restore_to_current(*slot, *key, v);
+                    }
+                    self.tombstones[((id + 1) & 1) as usize].lock().extend(tombs);
+                } else {
+                    // Full IPP: completing the snapshot merge is the whole
+                    // restore — the next full checkpoint rewrites the
+                    // now-consistent snapshot.
+                    for slot in 0..hw as SlotId {
+                        self.store.consume_retired(slot, retired);
+                    }
+                }
+                self.aborted.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
             }
-            for (key, v) in self.store.snapshot_entries() {
-                pending.writer().write_record(key, &v)?;
-            }
-        }
-        let (records, bytes) = pending.publish()?;
+        };
         Ok(CheckpointStats {
             id,
             kind,
@@ -280,6 +328,10 @@ impl CheckpointStrategy for IppStrategy {
 
     fn resume_checkpoint_ids(&self, next_id: u64) {
         self.upcoming.fetch_max(next_id, Ordering::AcqRel);
+    }
+
+    fn aborted_cycles(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
     }
 
     fn memory(&self) -> MemoryStats {

@@ -39,6 +39,8 @@ pub struct NaiveStrategy {
     /// Incremented inside the quiesced section, so no commit can straddle
     /// it.
     upcoming: AtomicU64,
+    /// Cycles that failed and were rolled back harmlessly.
+    aborted: AtomicU64,
 }
 
 impl NaiveStrategy {
@@ -61,6 +63,7 @@ impl NaiveStrategy {
             tracker: partial.then(|| BitVecTracker::new(capacity)),
             tombstones: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
             upcoming: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
         }
     }
 
@@ -76,20 +79,29 @@ impl NaiveStrategy {
         watermark: CommitSeq,
     ) -> io::Result<(u64, u64)> {
         let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        for slot in self.store.slot_ids() {
-            let extracted = {
-                let g = self.store.lock_slot(slot);
-                if g.in_use() {
-                    g.live().map(|l| (g.key(), l.to_vec()))
-                } else {
-                    None
+        let scan = (|| -> io::Result<()> {
+            for slot in self.store.slot_ids() {
+                let extracted = {
+                    let g = self.store.lock_slot(slot);
+                    if g.in_use() {
+                        g.live().map(|l| (g.key(), l.to_vec()))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((key, v)) = extracted {
+                    pending.writer().write_record(key, &v)?;
                 }
-            };
-            if let Some((key, v)) = extracted {
-                pending.writer().write_record(key, &v)?;
+            }
+            Ok(())
+        })();
+        match scan {
+            Ok(()) => pending.publish(),
+            Err(e) => {
+                pending.abandon();
+                Err(e)
             }
         }
-        pending.publish()
     }
 }
 
@@ -255,30 +267,59 @@ impl CheckpointStrategy for NaiveStrategy {
             watermark = self.log.last_seq();
             if self.partial {
                 let tracker = self.tracker.as_ref().expect("partial");
-                let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
+                // Drained up front so the failure path can restore them
+                // (under quiesce no commit can race the push-back).
                 let tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
-                for key in tombs {
-                    pending.writer().write_tombstone(key)?;
-                }
-                for slot in tracker.dirty_slots(id, self.store.slot_high_water()) {
-                    let extracted = {
-                        let g = self.store.lock_slot(slot);
-                        if g.in_use() {
-                            g.live().map(|l| (g.key(), l.to_vec()))
-                        } else {
-                            None
+                let result = (|| -> io::Result<(u64, u64)> {
+                    let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
+                    let scan = (|| -> io::Result<()> {
+                        for key in &tombs {
+                            pending.writer().write_tombstone(*key)?;
                         }
-                    };
-                    if let Some((key, v)) = extracted {
-                        pending.writer().write_record(key, &v)?;
+                        for slot in tracker.dirty_slots(id, self.store.slot_high_water()) {
+                            let extracted = {
+                                let g = self.store.lock_slot(slot);
+                                if g.in_use() {
+                                    g.live().map(|l| (g.key(), l.to_vec()))
+                                } else {
+                                    None
+                                }
+                            };
+                            if let Some((key, v)) = extracted {
+                                pending.writer().write_record(key, &v)?;
+                            }
+                        }
+                        Ok(())
+                    })();
+                    match scan {
+                        Ok(()) => pending.publish(),
+                        Err(e) => {
+                            pending.abandon();
+                            Err(e)
+                        }
+                    }
+                })();
+                match result {
+                    Ok((r, b)) => {
+                        records = r;
+                        bytes = b;
+                        tracker.clear(id);
+                    }
+                    Err(e) => {
+                        // Harmless failure: the dirty tracker was read
+                        // non-destructively and `upcoming` never moved, so
+                        // re-queuing the tombstones makes the retry of
+                        // interval `id` identical to this attempt.
+                        self.tombstones[(id & 1) as usize].lock().extend(tombs);
+                        self.aborted.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
                     }
                 }
-                let (r, b) = pending.publish()?;
-                records = r;
-                bytes = b;
-                tracker.clear(id);
             } else {
-                let (r, b) = self.write_full_scan(dir, id, watermark)?;
+                let (r, b) = self.write_full_scan(dir, id, watermark).inspect_err(|_| {
+                    // Nothing was consumed; the retry is a fresh scan.
+                    self.aborted.fetch_add(1, Ordering::Relaxed);
+                })?;
                 records = r;
                 bytes = b;
             }
@@ -318,6 +359,10 @@ impl CheckpointStrategy for NaiveStrategy {
 
     fn resume_checkpoint_ids(&self, next_id: u64) {
         self.upcoming.fetch_max(next_id, Ordering::AcqRel);
+    }
+
+    fn aborted_cycles(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
     }
 
     fn memory(&self) -> MemoryStats {

@@ -48,6 +48,8 @@ pub struct ZigzagStrategy {
     /// records inserted after the point live in later slots and are
     /// excluded from the scan.
     sealed_high_water: AtomicUsize,
+    /// Cycles that failed and were rolled back harmlessly.
+    aborted: AtomicU64,
 }
 
 impl ZigzagStrategy {
@@ -73,6 +75,7 @@ impl ZigzagStrategy {
             capture_active: AtomicBool::new(false),
             deferred_reclaim: Mutex::new(Vec::new()),
             sealed_high_water: AtomicUsize::new(0),
+            aborted: AtomicU64::new(0),
         }
     }
 
@@ -247,27 +250,71 @@ impl CheckpointStrategy for ZigzagStrategy {
         } else {
             CheckpointKind::Full
         };
-        let mut pending = dir.begin(kind, id, watermark)?;
         let hw = self.sealed_high_water.load(Ordering::Acquire);
-        if self.partial {
-            for key in &tombs {
-                pending.writer().write_tombstone(*key)?;
-            }
-            let tracker = self.tracker.as_ref().expect("partial");
-            for slot in tracker.dirty_slots(id, hw) {
-                if let Some((key, v)) = self.store.checkpoint_copy(slot) {
-                    pending.writer().write_record(key, &v)?;
-                }
-            }
-            tracker.clear(id);
+        // The scan reads the dirty set non-destructively and clears it
+        // only after a successful publish, so a failed cycle can roll its
+        // coverage forward into interval id + 1.
+        let dirty: Vec<SlotId> = if self.partial {
+            self.tracker.as_ref().expect("partial").dirty_slots(id, hw)
         } else {
-            for slot in 0..hw as SlotId {
-                if let Some((key, v)) = self.store.checkpoint_copy(slot) {
-                    pending.writer().write_record(key, &v)?;
+            Vec::new()
+        };
+        let result = (|| -> io::Result<(u64, u64)> {
+            let mut pending = dir.begin(kind, id, watermark)?;
+            let scan = (|| -> io::Result<()> {
+                if self.partial {
+                    for key in &tombs {
+                        pending.writer().write_tombstone(*key)?;
+                    }
+                    for &slot in &dirty {
+                        if let Some((key, v)) = self.store.checkpoint_copy(slot) {
+                            pending.writer().write_record(key, &v)?;
+                        }
+                    }
+                } else {
+                    for slot in 0..hw as SlotId {
+                        if let Some((key, v)) = self.store.checkpoint_copy(slot) {
+                            pending.writer().write_record(key, &v)?;
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            match scan {
+                Ok(()) => pending.publish(),
+                Err(e) => {
+                    pending.abandon();
+                    Err(e)
                 }
             }
+        })();
+        let (records, bytes) = match result {
+            Ok(rb) => rb,
+            Err(e) => {
+                // Harmless failure: checkpoint_copy never mutates, so the
+                // committed values still live in the store — re-marking
+                // the dirty set (and re-queuing tombstones) into interval
+                // id + 1 makes the next cycle's capture cover everything
+                // this one would have, at its own later flip point.
+                if self.partial {
+                    let tracker = self.tracker.as_ref().expect("partial");
+                    for &slot in &dirty {
+                        tracker.mark(slot, id + 1);
+                    }
+                    self.tombstones[((id + 1) & 1) as usize].lock().extend(tombs);
+                    tracker.clear(id);
+                }
+                self.capture_active.store(false, Ordering::Release);
+                for slot in std::mem::take(&mut *self.deferred_reclaim.lock()) {
+                    self.store.reclaim_after_capture(slot);
+                }
+                self.aborted.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        if let Some(tracker) = &self.tracker {
+            tracker.clear(id);
         }
-        let (records, bytes) = pending.publish()?;
 
         self.capture_active.store(false, Ordering::Release);
         for slot in std::mem::take(&mut *self.deferred_reclaim.lock()) {
@@ -311,6 +358,10 @@ impl CheckpointStrategy for ZigzagStrategy {
 
     fn resume_checkpoint_ids(&self, next_id: u64) {
         self.upcoming.fetch_max(next_id, Ordering::AcqRel);
+    }
+
+    fn aborted_cycles(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
     }
 
     fn memory(&self) -> MemoryStats {

@@ -127,6 +127,13 @@ pub struct RunResult {
     pub schedule: Vec<Duration>,
     /// Final record count.
     pub records: usize,
+    /// Checkpoint cycles that failed during the run. Failed cycles are
+    /// harmless (the strategy rolls its coverage forward), but a nonzero
+    /// count means the throughput/latency numbers describe a run with
+    /// less checkpoint I/O than scheduled.
+    pub checkpoint_failures: u64,
+    /// The first checkpoint failure, if any.
+    pub first_checkpoint_error: Option<String>,
     /// Checkpoint directory of the run (for recovery-time measurements).
     pub dir: PathBuf,
 }
@@ -216,6 +223,8 @@ pub fn run(spec: &RunSpec) -> RunResult {
         let schedule = schedule.clone();
         std::thread::spawn(move || {
             let mut stats = Vec::new();
+            let mut failures = 0u64;
+            let mut first_error = None;
             for at in schedule {
                 let now = run_start.elapsed();
                 if at > now {
@@ -223,10 +232,13 @@ pub fn run(spec: &RunSpec) -> RunResult {
                 }
                 match db.checkpoint_now() {
                     Ok(s) => stats.push(s),
-                    Err(e) => eprintln!("checkpoint failed: {e}"),
+                    Err(e) => {
+                        failures += 1;
+                        first_error.get_or_insert_with(|| e.to_string());
+                    }
                 }
             }
-            stats
+            (stats, failures, first_error)
         })
     };
 
@@ -239,7 +251,9 @@ pub fn run(spec: &RunSpec) -> RunResult {
     for f in feeders {
         let _ = f.join();
     }
-    checkpoints.extend(ckpt_thread.join().expect("checkpoint thread"));
+    let (triggered, checkpoint_failures, first_checkpoint_error) =
+        ckpt_thread.join().expect("checkpoint thread");
+    checkpoints.extend(triggered);
     let timeline = sampler.finish();
 
     let committed = db.metrics().committed() - start_committed;
@@ -264,6 +278,8 @@ pub fn run(spec: &RunSpec) -> RunResult {
         checkpoints,
         schedule,
         records,
+        checkpoint_failures,
+        first_checkpoint_error,
         dir: run_dir,
     }
 }
@@ -374,6 +390,8 @@ mod tests {
         assert!(result.checkpoints[0].records > 0);
         assert!(result.timeline.len() >= 8);
         assert!(!result.latency_cdf.is_empty());
+        assert_eq!(result.checkpoint_failures, 0);
+        assert!(result.first_checkpoint_error.is_none());
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! The supervised checkpoint service retries transient I/O failures; the
+//! delay sequence must be *deterministic* so that SimVfs fault-sweep runs
+//! replay exactly from a seed. The jitter therefore comes from the same
+//! splitmix64 generator ([`crate::rng::SplitMix`]) the rest of the test
+//! harness uses, not from wall-clock entropy.
+//!
+//! The policy is the classic decorrelated-cap scheme: attempt `n` draws a
+//! delay uniformly from `[base/2, base * 2^n]`, clamped to `cap`. A seeded
+//! [`Backoff`] yields the same sequence every run; two services with
+//! different seeds de-synchronize (useful when several engines share a
+//! disk).
+
+use std::time::Duration;
+
+use crate::rng::SplitMix;
+
+/// Deterministic capped-exponential backoff policy.
+///
+/// `next_delay()` advances the attempt counter and returns the delay to
+/// wait before the next retry; `reset()` returns to attempt 0 after a
+/// success. The sequence of delays is a pure function of
+/// `(base, cap, seed)`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    rng: SplitMix,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Creates a policy with the given base delay, cap, and jitter seed.
+    /// A zero `base` is bumped to 1ms so the exponential ladder is
+    /// non-degenerate; `cap` is raised to at least `base`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_millis(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            rng: SplitMix::new(seed),
+            attempt: 0,
+        }
+    }
+
+    /// Number of delays handed out since the last [`reset`](Self::reset).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Draws the delay for the next retry and advances the attempt
+    /// counter. Attempt `n` (0-based) is uniform in
+    /// `[base/2, min(cap, base * 2^n)]`.
+    pub fn next_delay(&mut self) -> Duration {
+        let n = self.attempt;
+        self.attempt = self.attempt.saturating_add(1);
+        let base_us = self.base.as_micros() as u64;
+        let cap_us = self.cap.as_micros() as u64;
+        // base * 2^n, saturating well before u64 overflow.
+        let ceiling = base_us
+            .saturating_mul(1u64.checked_shl(n.min(32)).unwrap_or(u64::MAX))
+            .min(cap_us);
+        let floor = (base_us / 2).min(ceiling);
+        let span = ceiling - floor;
+        let jittered = floor + if span == 0 { 0 } else { self.rng.next_below(span + 1) };
+        Duration::from_micros(jittered)
+    }
+
+    /// Resets the attempt counter after a success. The jitter stream is
+    /// *not* rewound — later delays keep consuming the same seeded
+    /// sequence, so a whole run stays a pure function of the seed.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mk = || Backoff::new(Duration::from_millis(10), Duration::from_secs(1), 42);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..20 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(200);
+        let mut b = Backoff::new(base, cap, 7);
+        for i in 0..16 {
+            let d = b.next_delay();
+            assert!(d >= base / 2, "attempt {i}: {d:?} below floor");
+            assert!(d <= cap, "attempt {i}: {d:?} above cap");
+        }
+        assert_eq!(b.attempt(), 16);
+    }
+
+    #[test]
+    fn reset_restarts_ladder_but_not_jitter() {
+        let mut b = Backoff::new(Duration::from_millis(8), Duration::from_secs(4), 9);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        // First post-reset delay is back on the attempt-0 rung.
+        let d = b.next_delay();
+        assert!(d <= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn zero_base_is_survivable() {
+        let mut b = Backoff::new(Duration::ZERO, Duration::ZERO, 1);
+        let d = b.next_delay();
+        assert!(d <= Duration::from_millis(1));
+    }
+}

@@ -20,6 +20,8 @@
 //! * [`types`] — `Key`, record values, and small shared identifiers.
 //! * [`rng`] — a tiny deterministic splitmix64 generator used where
 //!   reproducibility across runs matters more than statistical quality.
+//! * [`backoff`] — capped exponential retry backoff with deterministic
+//!   (seeded) jitter, used by the supervised checkpoint service.
 //! * [`vfs`] — the filesystem trait everything durable is written
 //!   through, with the [`vfs::OsVfs`] passthrough.
 //! * [`simfs`] — a deterministic fault-injecting in-memory filesystem
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod bitvec;
 pub mod bloom;
 pub mod crc;
@@ -45,11 +48,12 @@ pub mod striped;
 pub mod types;
 pub mod vfs;
 
+pub use backoff::Backoff;
 pub use bitvec::{AtomicBitVec, PolarityBitVec};
 pub use bloom::BloomFilter;
 pub use hist::Histogram;
 pub use phase::Phase;
-pub use simfs::{DirCrashMode, FaultKind, FaultSpec, OpCounts, SimVfs};
+pub use simfs::{DirCrashMode, FaultKind, FaultSpec, OpCounts, SimVfs, TransientKind, TransientSpec};
 pub use striped::StripedMutex;
 pub use types::{CommitSeq, Key, TxnId, Value};
 pub use vfs::{OsVfs, Vfs, VfsFile, VfsRead};

@@ -73,6 +73,36 @@ pub struct FaultSpec {
     pub at: u64,
 }
 
+/// The error class a [`TransientSpec`] window injects. Unlike
+/// [`FaultKind`], these do **not** crash the filesystem — the failing
+/// call returns an error and later calls proceed normally, modelling a
+/// disk that misbehaves and then recovers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransientKind {
+    /// Data writes inside the window fail with a retryable
+    /// `ErrorKind::Interrupted` error; nothing is appended.
+    WriteError,
+    /// Data writes *and* file creations inside the window fail with
+    /// `ENOSPC` (raw OS error 28), modelling a full disk that later
+    /// frees up.
+    Enospc,
+}
+
+/// A window of transient failures over the combined data-operation index
+/// ([`OpCounts::data_ops`], i.e. writes + creates): operations whose
+/// index falls in `[from, from + count)` fail per `kind`. Failing
+/// operations still consume their index, so deterministic retries walk
+/// *through* the window instead of spinning at its leading edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransientSpec {
+    /// Which error class to inject.
+    pub kind: TransientKind,
+    /// First data-op index (0-based) inside the window.
+    pub from: u64,
+    /// Number of data-op indices the window covers.
+    pub count: u64,
+}
+
 /// How pending (un-fsynced) directory operations behave at crash time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DirCrashMode {
@@ -113,6 +143,12 @@ impl OpCounts {
     pub fn total(&self) -> u64 {
         self.writes + self.fsyncs + self.dir_syncs + self.renames + self.removes + self.creates
     }
+
+    /// Combined data-operation index (writes + creates), the stream
+    /// [`TransientSpec`] windows index into.
+    pub fn data_ops(&self) -> u64 {
+        self.writes + self.creates
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -138,6 +174,8 @@ struct SimState {
     next_inode: u64,
     counts: OpCounts,
     fault: Option<FaultSpec>,
+    transient: Option<TransientSpec>,
+    transient_hits: u64,
     fault_fired: bool,
     crashed: bool,
     fsyncs_dropped: u64,
@@ -168,6 +206,30 @@ impl SimState {
             Err(crash_err())
         } else {
             Ok(())
+        }
+    }
+
+    /// Returns the injected error if data-op index `idx` lies inside an
+    /// armed transient window and the window's kind covers `write`
+    /// (WriteError windows spare creates; ENOSPC hits both).
+    fn transient_err(&mut self, idx: u64, write: bool) -> Option<io::Error> {
+        let spec = self.transient?;
+        if idx < spec.from || idx >= spec.from.saturating_add(spec.count) {
+            return None;
+        }
+        match spec.kind {
+            TransientKind::WriteError if write => {
+                self.transient_hits += 1;
+                Some(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "simulated transient write error",
+                ))
+            }
+            TransientKind::WriteError => None,
+            TransientKind::Enospc => {
+                self.transient_hits += 1;
+                Some(io::Error::from_raw_os_error(28))
+            }
         }
     }
 
@@ -207,7 +269,11 @@ impl VfsFile for SimFile {
         let mut st = self.state.lock();
         st.check_alive()?;
         let idx = st.counts.writes;
+        let didx = st.counts.data_ops();
         st.counts.writes += 1;
+        if let Some(err) = st.transient_err(didx, true) {
+            return Err(err);
+        }
         if st.fault_matches(FaultKind::TornWrite, idx) {
             st.fault_fired = true;
             st.crashed = true;
@@ -269,6 +335,8 @@ impl SimVfs {
                 next_inode: 1,
                 counts: OpCounts::default(),
                 fault,
+                transient: None,
+                transient_hits: 0,
                 fault_fired: false,
                 crashed: false,
                 fsyncs_dropped: 0,
@@ -282,6 +350,18 @@ impl SimVfs {
     /// Selects how pending directory operations survive a crash.
     pub fn set_dir_crash_mode(&self, mode: DirCrashMode) {
         self.state.lock().dir_crash_mode = mode;
+    }
+
+    /// Arms (or replaces) a transient failure window. Pass a window with
+    /// `count == 0` to disarm. Unlike [`FaultSpec`] faults a window does
+    /// not crash the filesystem; see [`TransientSpec`].
+    pub fn arm_transient(&self, spec: TransientSpec) {
+        self.state.lock().transient = (spec.count > 0).then_some(spec);
+    }
+
+    /// Number of operations a transient window has failed so far.
+    pub fn transient_hits(&self) -> u64 {
+        self.state.lock().transient_hits
     }
 
     /// Arms a crash immediately before the `n`-th (0-based) file
@@ -353,6 +433,7 @@ impl SimVfs {
         st.files.retain(|inode, _| live.contains(inode));
         st.crashed = false;
         st.fault = None;
+        st.transient = None;
         st.fault_fired = false;
         st.remove_crash_at = None;
     }
@@ -362,7 +443,11 @@ impl Vfs for SimVfs {
     fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
         let mut st = self.state.lock();
         st.check_alive()?;
+        let didx = st.counts.data_ops();
         st.counts.creates += 1;
+        if let Some(err) = st.transient_err(didx, false) {
+            return Err(err);
+        }
         let inode = st.next_inode;
         st.next_inode += 1;
         st.files.insert(
@@ -661,6 +746,47 @@ mod tests {
         assert!(vfs.open_read(&p("/d/a")).is_err());
         assert_eq!(vfs.len(&p("/d/b")).unwrap(), 1);
         assert_eq!(vfs.len(&p("/d/c")).unwrap(), 1);
+    }
+
+    #[test]
+    fn transient_write_window_fails_then_recovers() {
+        let vfs = SimVfs::new(21);
+        vfs.create_dir_all(&p("/d")).unwrap();
+        let mut f = vfs.create(&p("/d/log")).unwrap(); // data-op 0
+        f.write_all(b"ok0").unwrap(); // data-op 1
+        vfs.arm_transient(TransientSpec {
+            kind: TransientKind::WriteError,
+            from: 2,
+            count: 2,
+        });
+        let e = f.write_all(b"fail").unwrap_err(); // data-op 2: in window
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        let e = f.write_all(b"fail").unwrap_err(); // data-op 3: in window
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        assert!(!vfs.crashed(), "transient errors never crash the fs");
+        f.write_all(b"ok1").unwrap(); // data-op 4: past the window
+        assert_eq!(vfs.transient_hits(), 2);
+        f.sync().unwrap();
+        assert_eq!(vfs.len(&p("/d/log")).unwrap(), 6, "failed writes left no bytes");
+    }
+
+    #[test]
+    fn enospc_window_fails_creates_and_writes() {
+        let vfs = SimVfs::new(22);
+        vfs.create_dir_all(&p("/d")).unwrap();
+        vfs.arm_transient(TransientSpec {
+            kind: TransientKind::Enospc,
+            from: 0,
+            count: 2,
+        });
+        let e = vfs.create(&p("/d/a")).err().expect("enospc"); // data-op 0
+        assert_eq!(e.raw_os_error(), Some(28));
+        let e = vfs.create(&p("/d/a")).err().expect("enospc"); // data-op 1
+        assert_eq!(e.raw_os_error(), Some(28));
+        // Window exhausted: the disk "freed up".
+        let mut f = vfs.create(&p("/d/a")).unwrap();
+        f.write_all(b"x").unwrap();
+        assert_eq!(vfs.transient_hits(), 2);
     }
 
     #[test]

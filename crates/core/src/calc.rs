@@ -80,6 +80,9 @@ pub struct CalcStrategy {
     ///
     /// [`PolarityBitVec::generation`]: calc_common::bitvec::PolarityBitVec::generation
     cycle_start_gen: AtomicU64,
+    /// Cycles that failed and were rolled back harmlessly (see
+    /// [`CheckpointStrategy::aborted_cycles`]).
+    aborted: AtomicU64,
 }
 
 impl CalcStrategy {
@@ -102,6 +105,7 @@ impl CalcStrategy {
             tracker: partial.then(|| BitVecTracker::new(capacity)),
             tombstones: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
             cycle_start_gen: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
         }
     }
 
@@ -206,6 +210,105 @@ impl CalcStrategy {
         })
     }
 
+    /// The fallible disk portion of a full cycle: begin → scan → publish.
+    /// On `Err` the temp file has been abandoned; store/phase restore is
+    /// the caller's job ([`CalcStrategy::abort_cycle_full`]).
+    fn capture_full(
+        &self,
+        dir: &CheckpointDir,
+        id: u64,
+        watermark: CommitSeq,
+    ) -> io::Result<(u64, u64)> {
+        let status = self.store.stable_status();
+        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
+        let scan = (|| -> io::Result<()> {
+            for slot in self.store.slot_ids() {
+                let extracted = {
+                    let mut g = self.store.lock_slot(slot);
+                    if !g.in_use() {
+                        // Normalize vacant slots so the polarity swap leaves
+                        // every bit reading not-available.
+                        status.mark(slot as usize);
+                        None
+                    } else if status.is_marked(slot as usize) {
+                        // Post-point writers (or the resolve-commit hook)
+                        // preserved an explicit stable version; an available
+                        // bit without one is a record inserted after the point
+                        // of consistency — excluded.
+                        if g.has_stable() {
+                            let key = g.key();
+                            let v = g.stable().expect("checked").to_vec();
+                            g.erase_stable();
+                            if g.live().is_none() {
+                                // Deleted after the point: captured, now gone.
+                                g.release_if_vacant();
+                            }
+                            Some((key, v))
+                        } else {
+                            None
+                        }
+                    } else {
+                        status.mark(slot as usize);
+                        let key = g.key();
+                        if g.has_stable() {
+                            let v = g.stable().expect("checked").to_vec();
+                            g.erase_stable();
+                            if g.live().is_none() {
+                                g.release_if_vacant();
+                            }
+                            Some((key, v))
+                        } else if let Some(live) = g.live() {
+                            Some((key, live.to_vec()))
+                        } else {
+                            // Unreachable in the protocol (a record with no
+                            // versions is released at delete-commit), but stay
+                            // defensive.
+                            g.release_if_vacant();
+                            None
+                        }
+                    }
+                };
+                if let Some((key, v)) = extracted {
+                    pending.writer().write_record(key, &v)?;
+                }
+            }
+            Ok(())
+        })();
+        match scan {
+            Ok(()) => pending.publish(),
+            Err(e) => {
+                pending.abandon();
+                Err(e)
+            }
+        }
+    }
+
+    /// Harmless-failure restore for a full cycle that died during capture
+    /// (phase is CAPTURE; the scan may have processed any prefix of the
+    /// slots). Finishes the marking scan *without* disk I/O — erasing
+    /// remaining stable versions and driving every status bit to marked —
+    /// then completes the cycle exactly as a successful one would, so the
+    /// polarity swap leaves every bit not-available and the next full
+    /// checkpoint captures the entire database.
+    fn abort_cycle_full(&self) {
+        let status = self.store.stable_status();
+        for slot in self.store.slot_ids() {
+            let mut g = self.store.lock_slot(slot);
+            if g.in_use() && g.has_stable() {
+                g.erase_stable();
+                if g.live().is_none() {
+                    g.release_if_vacant();
+                }
+            }
+            status.mark(slot as usize);
+        }
+        self.phases.transition(Phase::Complete);
+        self.phases.drain_others(Phase::Complete);
+        status.swap_polarity();
+        self.phases.transition(Phase::Rest);
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn checkpoint_full(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
         let start = Instant::now();
         let id = self.phases.log().current_stamp().cycle;
@@ -224,58 +327,13 @@ impl CalcStrategy {
         self.phases.transition(Phase::Capture);
 
         let status = self.store.stable_status();
-        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        for slot in self.store.slot_ids() {
-            let extracted = {
-                let mut g = self.store.lock_slot(slot);
-                if !g.in_use() {
-                    // Normalize vacant slots so the polarity swap leaves
-                    // every bit reading not-available.
-                    status.mark(slot as usize);
-                    None
-                } else if status.is_marked(slot as usize) {
-                    // Post-point writers (or the resolve-commit hook)
-                    // preserved an explicit stable version; an available
-                    // bit without one is a record inserted after the point
-                    // of consistency — excluded.
-                    if g.has_stable() {
-                        let key = g.key();
-                        let v = g.stable().expect("checked").to_vec();
-                        g.erase_stable();
-                        if g.live().is_none() {
-                            // Deleted after the point: captured, now gone.
-                            g.release_if_vacant();
-                        }
-                        Some((key, v))
-                    } else {
-                        None
-                    }
-                } else {
-                    status.mark(slot as usize);
-                    let key = g.key();
-                    if g.has_stable() {
-                        let v = g.stable().expect("checked").to_vec();
-                        g.erase_stable();
-                        if g.live().is_none() {
-                            g.release_if_vacant();
-                        }
-                        Some((key, v))
-                    } else if let Some(live) = g.live() {
-                        Some((key, live.to_vec()))
-                    } else {
-                        // Unreachable in the protocol (a record with no
-                        // versions is released at delete-commit), but stay
-                        // defensive.
-                        g.release_if_vacant();
-                        None
-                    }
-                }
-            };
-            if let Some((key, v)) = extracted {
-                pending.writer().write_record(key, &v)?;
+        let (records, bytes) = match self.capture_full(dir, id, watermark) {
+            Ok(rb) => rb,
+            Err(e) => {
+                self.abort_cycle_full();
+                return Err(e);
             }
-        }
-        let (records, bytes) = pending.publish()?;
+        };
 
         self.phases.transition(Phase::Complete);
         self.phases.drain_others(Phase::Complete);
@@ -296,6 +354,108 @@ impl CalcStrategy {
         })
     }
 
+    /// The fallible disk portion of a partial cycle: begin → tombstones →
+    /// dirty scan → publish. On `Err` the temp file has been abandoned;
+    /// side-state restore is [`CalcStrategy::abort_cycle_partial`].
+    fn capture_partial(
+        &self,
+        dir: &CheckpointDir,
+        id: u64,
+        watermark: CommitSeq,
+        tombs: &[Key],
+        high_water: usize,
+    ) -> io::Result<(u64, u64)> {
+        let tracker = self.tracker.as_ref().expect("partial mode has a tracker");
+        let status = self.store.stable_status();
+        let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
+        let scan = (|| -> io::Result<()> {
+            // Tombstones first: within one partial checkpoint a tombstone
+            // must precede any same-key re-insertion so sequential merge
+            // replay is last-event-wins.
+            for key in tombs {
+                pending.writer().write_tombstone(*key)?;
+            }
+            for slot in tracker.dirty_slots(id, high_water) {
+                let extracted = {
+                    let mut g = self.store.lock_slot(slot);
+                    if !g.in_use() {
+                        // Freed by a pre-point delete; its tombstone is
+                        // already in the file.
+                        None
+                    } else if status.is_marked(slot as usize) {
+                        if g.has_stable() {
+                            let key = g.key();
+                            let v = g.stable().expect("checked").to_vec();
+                            g.erase_stable();
+                            // No polarity swap in pCALC: reset explicitly.
+                            status.unmark(slot as usize);
+                            if g.live().is_none() {
+                                g.release_if_vacant();
+                            }
+                            Some((key, v))
+                        } else {
+                            // Insert-after-point (possibly on a reused slot):
+                            // belongs to the next checkpoint; leave its bit.
+                            None
+                        }
+                    } else {
+                        // Dirty but never written after the point: live IS the
+                        // point-of-consistency value.
+                        g.live().map(|l| (g.key(), l.to_vec()))
+                    }
+                };
+                if let Some((key, v)) = extracted {
+                    pending.writer().write_record(key, &v)?;
+                }
+            }
+            Ok(())
+        })();
+        match scan {
+            Ok(()) => pending.publish(),
+            Err(e) => {
+                pending.abandon();
+                Err(e)
+            }
+        }
+    }
+
+    /// Harmless-failure restore for a partial cycle that died during
+    /// capture. The failed cycle consumed side-state the next cycle needs:
+    /// the interval-`id` tombstone buffer was drained, and the dirty bits
+    /// for interval `id` cover keys whose values exist *only* here (the
+    /// scan may even have erased some of their captured stable versions
+    /// already). Everything is rolled **forward** into interval `id + 1`:
+    /// dirty bits re-marked, tombstones re-queued, then the cycle is
+    /// completed file-lessly (Complete → cleanup pass → clear → Rest) so
+    /// the next partial checkpoint covers the union of both intervals.
+    fn abort_cycle_partial(&self, id: u64, tombs: Vec<Key>, high_water: usize) {
+        let tracker = self.tracker.as_ref().expect("partial mode has a tracker");
+        let status = self.store.stable_status();
+        // Re-mark before the cleanup pass below reads interval id + 1, so
+        // one pass normalizes the union of both intervals' slots.
+        for slot in tracker.dirty_slots(id, high_water) {
+            tracker.mark(slot, id + 1);
+        }
+        self.tombstones[((id + 1) & 1) as usize].lock().extend(tombs);
+        self.phases.transition(Phase::Complete);
+        self.phases.drain_others(Phase::Complete);
+        // Same cleanup pass as the success path: provisional stable
+        // versions hold values as of the *failed* cycle's point, which the
+        // next cycle must not reuse — its capture reads live values (or
+        // pre-images its own post-point writers create).
+        for slot in tracker.dirty_slots(id + 1, self.store.slot_high_water()) {
+            let mut g = self.store.lock_slot(slot);
+            if g.in_use() {
+                g.erase_stable();
+            }
+            status.unmark(slot as usize);
+            drop(g);
+        }
+        tracker.clear(id);
+        self.phases.transition(Phase::Rest);
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn checkpoint_partial(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
         let start = Instant::now();
         let tracker = self.tracker.as_ref().expect("partial mode has a tracker");
@@ -308,49 +468,18 @@ impl CalcStrategy {
         self.phases.transition(Phase::Capture);
 
         let status = self.store.stable_status();
-        let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
-        // Tombstones first: within one partial checkpoint a tombstone must
-        // precede any same-key re-insertion so sequential merge replay is
-        // last-event-wins.
+        // Tombstones are drained *before* the fallible disk work so the
+        // failure path below can re-queue them wherever the cycle dies
+        // (even in `begin`).
         let tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
-        for key in tombs {
-            pending.writer().write_tombstone(key)?;
-        }
         let high_water = self.store.slot_high_water();
-        for slot in tracker.dirty_slots(id, high_water) {
-            let extracted = {
-                let mut g = self.store.lock_slot(slot);
-                if !g.in_use() {
-                    // Freed by a pre-point delete; its tombstone is
-                    // already in the file.
-                    None
-                } else if status.is_marked(slot as usize) {
-                    if g.has_stable() {
-                        let key = g.key();
-                        let v = g.stable().expect("checked").to_vec();
-                        g.erase_stable();
-                        // No polarity swap in pCALC: reset explicitly.
-                        status.unmark(slot as usize);
-                        if g.live().is_none() {
-                            g.release_if_vacant();
-                        }
-                        Some((key, v))
-                    } else {
-                        // Insert-after-point (possibly on a reused slot):
-                        // belongs to the next checkpoint; leave its bit.
-                        None
-                    }
-                } else {
-                    // Dirty but never written after the point: live IS the
-                    // point-of-consistency value.
-                    g.live().map(|l| (g.key(), l.to_vec()))
-                }
-            };
-            if let Some((key, v)) = extracted {
-                pending.writer().write_record(key, &v)?;
+        let (records, bytes) = match self.capture_partial(dir, id, watermark, &tombs, high_water) {
+            Ok(rb) => rb,
+            Err(e) => {
+                self.abort_cycle_partial(id, tombs, high_water);
+                return Err(e);
             }
-        }
-        let (records, bytes) = pending.publish()?;
+        };
 
         self.phases.transition(Phase::Complete);
         self.phases.drain_others(Phase::Complete);
@@ -672,6 +801,10 @@ impl CheckpointStrategy for CalcStrategy {
 
     fn write_base_checkpoint(&self, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
         CalcStrategy::write_base_checkpoint(self, dir)
+    }
+
+    fn aborted_cycles(&self) -> u64 {
+        self.aborted.load(Ordering::Relaxed)
     }
 
     fn memory(&self) -> MemoryStats {

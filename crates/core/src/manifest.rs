@@ -14,6 +14,7 @@
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use calc_common::types::CommitSeq;
@@ -44,6 +45,9 @@ pub struct CheckpointDir {
     dir: PathBuf,
     throttle: Arc<Throttle>,
     vfs: Arc<dyn Vfs>,
+    /// Files [`CheckpointDir::scan`] found invalid and renamed to
+    /// `*.quarantine`.
+    quarantined: AtomicU64,
 }
 
 /// An in-flight checkpoint: a [`CheckpointWriter`] plus the publication
@@ -105,7 +109,27 @@ impl CheckpointDir {
             dir: dir.to_path_buf(),
             throttle,
             vfs,
+            quarantined: AtomicU64::new(0),
         })
+    }
+
+    /// Number of invalid checkpoint files this handle's scans have
+    /// quarantined (renamed to `*.quarantine`).
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Moves an invalid checkpoint file out of the scan namespace by
+    /// renaming it to `<name>.quarantine`, preserving the bytes for
+    /// post-mortem inspection. Rename failure (e.g. read-only disk during
+    /// recovery) degrades to skipping the file, exactly the old behaviour.
+    fn quarantine(&self, path: &Path) {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            return;
+        };
+        let dest = self.dir.join(format!("{name}.quarantine"));
+        let _ = self.vfs.rename(path, &dest);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The filesystem this directory lives on.
@@ -168,14 +192,24 @@ impl CheckpointDir {
             }
             let reader = match CheckpointReader::open_with_vfs(self.vfs.as_ref(), &path) {
                 Ok(r) => r,
-                Err(_) => continue, // crashed mid-capture; ignore
+                Err(_) => {
+                    // Crashed mid-capture: quarantine rather than silently
+                    // skipping, so the corruption is visible in metrics and
+                    // never rescanned.
+                    self.quarantine(&path);
+                    continue;
+                }
             };
             // Footer magic alone is not proof of integrity: a bit flip or
             // torn write in the body leaves the footer intact, so validate
             // the full CRC before treating the file as live.
             let h = match reader.verify() {
                 Ok(h) => h,
-                Err(_) => continue, // corrupt body; ignore
+                Err(_) => {
+                    // Corrupt body.
+                    self.quarantine(&path);
+                    continue;
+                }
             };
             out.push(CheckpointMeta {
                 id: h.id,
@@ -302,6 +336,27 @@ mod tests {
         let metas = d.scan().unwrap();
         assert_eq!(metas.len(), 1);
         assert_eq!(metas[0].id, 1);
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined_and_counted() {
+        let d = dir("quarantine");
+        publish(&d, CheckpointKind::Full, 1, 1);
+        let bad = d.path().join("ckpt-0000000002-full.calc");
+        std::fs::write(&bad, b"CALCCKPTgarbage").unwrap();
+        assert_eq!(d.quarantined_count(), 0);
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(d.quarantined_count(), 1);
+        // The file moved out of the scan namespace: bytes preserved under
+        // *.quarantine, original name gone, and a re-scan finds nothing new.
+        assert!(!bad.exists());
+        assert!(d
+            .path()
+            .join("ckpt-0000000002-full.calc.quarantine")
+            .exists());
+        assert_eq!(d.scan().unwrap().len(), 1);
+        assert_eq!(d.quarantined_count(), 1);
     }
 
     #[test]

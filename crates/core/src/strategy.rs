@@ -182,7 +182,23 @@ pub trait CheckpointStrategy: Send + Sync {
     fn on_abort(&self, token: &mut TxnToken, undo: &[UndoRec]);
 
     /// Runs one full checkpoint cycle, writing into `dir`.
+    ///
+    /// **Harmless-failure contract**: on `Err`, the strategy must leave
+    /// itself in a state where the *next* successful cycle captures every
+    /// committed write the failed cycle would have — the in-progress file
+    /// is abandoned (never published), any consumed side-state is
+    /// restored (dirty bits re-marked, drained tombstones re-queued,
+    /// retired/flipped copies re-injected), and phase/interval
+    /// bookkeeping advances past the dead cycle so a retry starts clean.
+    /// Failures tracked by [`CheckpointStrategy::aborted_cycles`].
     fn checkpoint(&self, env: &dyn EngineEnv, dir: &CheckpointDir) -> io::Result<CheckpointStats>;
+
+    /// Number of checkpoint cycles that failed and were rolled back via
+    /// the harmless-failure path (see [`CheckpointStrategy::checkpoint`]).
+    /// Strategies that have no fallible side-state may keep the default.
+    fn aborted_cycles(&self) -> u64 {
+        0
+    }
 
     /// Writes a full checkpoint of the current state with no transactions
     /// running (right after initial load), giving partial checkpoints a

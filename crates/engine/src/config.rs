@@ -10,6 +10,8 @@ use calc_core::strategy::CheckpointStrategy;
 use calc_storage::dual::StoreConfig;
 use calc_txn::commitlog::CommitLog;
 
+use crate::service::ServiceTuning;
+
 /// Which checkpointing algorithm the engine runs — the six schemes of the
 /// paper's evaluation, full or partial, plus `NoCheckpoint` (the "None"
 /// baseline line in every throughput figure).
@@ -174,6 +176,18 @@ pub struct EngineConfig {
     /// Collapse partial checkpoints in a background thread after every N
     /// partials (`None` disables; Figure 4 sweeps 4/8/16).
     pub merge_batch: Option<usize>,
+    /// Cadence of the supervised checkpoint daemon
+    /// ([`crate::service::CheckpointService`]): `Some(d)` spawns a
+    /// background thread that runs a checkpoint cycle every `d`, retrying
+    /// failures under backoff and reporting via [`crate::Database::health`].
+    /// `None` (the default) leaves checkpointing to explicit
+    /// [`crate::Database::checkpoint_now`] calls, as the benchmark
+    /// schedules require.
+    pub checkpoint_interval: Option<std::time::Duration>,
+    /// Retry backoff, degraded-mode threshold, and stalled-cycle watchdog
+    /// for checkpoint cycles (used by the daemon and by health accounting
+    /// on manual cycles).
+    pub checkpoint_tuning: ServiceTuning,
     /// Durable command log (VoltDB-style, §1 of the paper): when set, a
     /// background thread appends every commit's `(seq, proc, params)` to
     /// this file with group-commit fsyncs. Transactions are acknowledged
@@ -208,6 +222,8 @@ impl EngineConfig {
             disk_bytes_per_sec: 0,
             base_checkpoint: strategy.is_partial(),
             merge_batch: None,
+            checkpoint_interval: None,
+            checkpoint_tuning: ServiceTuning::default(),
             command_log_path: None,
             vfs: Arc::new(OsVfs),
             #[cfg(feature = "conform")]

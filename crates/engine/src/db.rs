@@ -2,7 +2,7 @@
 //! checkpoint triggering, and background merging.
 
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,7 +23,8 @@ use calc_txn::locks::LockManager;
 use calc_txn::proc::{AbortReason, ProcId, ProcRegistry, TxnOps};
 
 use crate::config::{EngineConfig, StrategyKind};
-use crate::metrics::Metrics;
+use crate::metrics::{Health, Metrics};
+use crate::service::{classify, CheckpointService};
 
 /// Result of a synchronously executed transaction.
 #[derive(Clone, Debug)]
@@ -48,6 +49,37 @@ enum CmdlogMsg {
     /// Sync everything appended so far, then acknowledge.
     Flush(Sender<()>),
 }
+
+/// Why [`Database::sync_command_log`] could not complete its flush
+/// handshake. None of these abort the process: a dead logger means the
+/// durable log stopped growing (degraded durability), not that the
+/// engine must die — callers decide how loudly to react.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// The logger thread had already exited (earlier append I/O error)
+    /// when the flush was submitted.
+    LoggerExited,
+    /// The logger died after accepting the flush, before acknowledging.
+    LoggerDied,
+    /// No acknowledgement within the timeout — the logger is wedged.
+    Timeout(Duration),
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::LoggerExited => {
+                write!(f, "command logger exited before the flush (I/O error?)")
+            }
+            SyncError::LoggerDied => write!(f, "command logger died mid-flush (I/O error?)"),
+            SyncError::Timeout(d) => {
+                write!(f, "no flush acknowledgement within {d:?} (logger wedged)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
 
 /// How long shutdown waits for a background thread before declaring the
 /// engine hung. Generous: a loaded drain of a deep queue is legitimate;
@@ -104,6 +136,11 @@ struct Inner {
     cmdlog_tx: Mutex<Option<Sender<CmdlogMsg>>>,
     partials_since_merge: AtomicU64,
     merge_batch: Option<usize>,
+    /// Checkpointer health, shared with the service daemon and observers.
+    health: Arc<Health>,
+    /// Set when a background merge failed; the next checkpoint cycle
+    /// retries the merge even off the batch boundary.
+    merge_retry_pending: AtomicBool,
     kind: StrategyKind,
     #[cfg(feature = "conform")]
     recorder: Option<Arc<crate::recorder::HistoryRecorder>>,
@@ -118,6 +155,47 @@ impl EngineEnv for Inner {
     }
 }
 
+impl Inner {
+    /// One checkpoint cycle: run the strategy's capture, and on success
+    /// trigger (or retry) the background merge. Health accounting lives
+    /// in the callers ([`Database::checkpoint_now`] and the service
+    /// daemon) so a cycle is recorded exactly once.
+    fn checkpoint_cycle_raw(self: &Arc<Self>) -> io::Result<CheckpointStats> {
+        let _serial = self.checkpoint_serial.lock();
+        let stats = self.strategy.checkpoint(self.as_ref(), &self.dir)?;
+        if self.strategy.partial() {
+            let n = self.partials_since_merge.fetch_add(1, Ordering::AcqRel) + 1;
+            // A previously failed merge is retried at the next trigger —
+            // the swap clears the flag; the merger re-sets it if it fails
+            // again.
+            let retry = self.merge_retry_pending.swap(false, Ordering::AcqRel);
+            if let Some(batch) = self.merge_batch {
+                if n.is_multiple_of(batch as u64) || retry {
+                    // §2.3.1: "a low-priority thread to take advantage of
+                    // moments of sub-peak load".
+                    let inner = self.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("calc-merger".into())
+                        .spawn(move || {
+                            let _g = inner.merge_serial.lock();
+                            if let Err(e) = collapse(&inner.dir) {
+                                // A failed collapse leaves the existing
+                                // chain fully intact — recovery is just
+                                // longer. Surface it and queue a retry
+                                // instead of swallowing the error.
+                                inner.health.record_merge_failure(&e);
+                                inner.merge_retry_pending.store(true, Ordering::Release);
+                            }
+                        })
+                        .expect("spawn merger");
+                    self.mergers.lock().push(handle);
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
 /// An embeddable, checkpointable, main-memory transactional key-value
 /// store — the paper's evaluation system, with the checkpointing strategy
 /// chosen by [`EngineConfig::strategy`].
@@ -126,6 +204,9 @@ pub struct Database {
     sender: Option<Sender<Request>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     cmdlogger: Option<std::thread::JoinHandle<()>>,
+    /// The supervised checkpoint daemon, when
+    /// [`EngineConfig::checkpoint_interval`] is set.
+    service: Option<CheckpointService>,
 }
 
 impl Database {
@@ -158,6 +239,17 @@ impl Database {
                             match rx.recv_timeout(Duration::from_millis(10)) {
                                 Ok(CmdlogMsg::Record(rec)) => {
                                     if writer.append(&rec).is_err() {
+                                        // The log is broken: stop persisting,
+                                        // but keep draining until shutdown
+                                        // closes the channel. Dropping each
+                                        // message drops any Flush ack sender,
+                                        // so a queued or future handshake
+                                        // observes a dead logger immediately
+                                        // instead of wedging until its
+                                        // timeout (the engine's tx handle
+                                        // keeps queued messages alive even
+                                        // after this rx would be dropped).
+                                        while rx.recv().is_ok() {}
                                         return;
                                     }
                                     pending += 1;
@@ -204,9 +296,24 @@ impl Database {
             cmdlog_tx: Mutex::new(cmdlog_tx),
             partials_since_merge: AtomicU64::new(0),
             merge_batch: config.merge_batch,
+            health: Arc::new(Health::new(
+                config.checkpoint_tuning.degraded_after,
+                config.checkpoint_tuning.watchdog,
+            )),
+            merge_retry_pending: AtomicBool::new(false),
             kind: config.strategy,
             #[cfg(feature = "conform")]
             recorder: config.recorder.clone(),
+        });
+
+        let service = config.checkpoint_interval.map(|interval| {
+            let cycle_inner = inner.clone();
+            CheckpointService::start(
+                interval,
+                config.checkpoint_tuning.clone(),
+                inner.health.clone(),
+                move || cycle_inner.checkpoint_cycle_raw().map(|_| ()),
+            )
         });
 
         let (tx, rx) = match config.queue_capacity {
@@ -229,6 +336,7 @@ impl Database {
             sender: Some(tx),
             workers,
             cmdlogger,
+            service,
         })
     }
 
@@ -294,37 +402,21 @@ impl Database {
 
     /// Runs one checkpoint cycle now (blocking until capture completes).
     /// With `merge_batch` configured, every Nth partial checkpoint also
-    /// kicks off a background collapse.
+    /// kicks off a background collapse. The outcome is recorded in
+    /// [`Database::health`] exactly like a daemon-driven cycle, so manual
+    /// successes also heal degraded mode.
     pub fn checkpoint_now(&self) -> io::Result<CheckpointStats> {
-        let _serial = self.inner.checkpoint_serial.lock();
-        let stats = self
-            .inner
-            .strategy
-            .checkpoint(self.inner.as_ref(), &self.inner.dir)?;
-        if self.inner.strategy.partial() {
-            let n = self.inner.partials_since_merge.fetch_add(1, Ordering::AcqRel) + 1;
-            if let Some(batch) = self.inner.merge_batch {
-                if n.is_multiple_of(batch as u64) {
-                    // §2.3.1: "a low-priority thread to take advantage of
-                    // moments of sub-peak load".
-                    let dir_path = self.inner.dir.path().to_path_buf();
-                    let throttle = self.inner.dir.throttle().clone();
-                    let vfs = self.inner.dir.vfs().clone();
-                    let serial = self.inner.merge_serial.clone();
-                    let handle = std::thread::Builder::new()
-                        .name("calc-merger".into())
-                        .spawn(move || {
-                            let _g = serial.lock();
-                            if let Ok(dir) = CheckpointDir::open_with_vfs(&dir_path, throttle, vfs) {
-                                let _ = collapse(&dir);
-                            }
-                        })
-                        .expect("spawn merger");
-                    self.inner.mergers.lock().push(handle);
-                }
+        self.inner.health.cycle_started();
+        match self.inner.checkpoint_cycle_raw() {
+            Ok(stats) => {
+                self.inner.health.cycle_succeeded();
+                Ok(stats)
+            }
+            Err(e) => {
+                self.inner.health.cycle_failed(classify(&e), &e);
+                Err(e)
             }
         }
-        Ok(stats)
     }
 
     /// Synchronously collapses partial checkpoints (blocks until done).
@@ -336,6 +428,13 @@ impl Database {
     /// Engine metrics.
     pub fn metrics(&self) -> &Arc<Metrics> {
         &self.inner.metrics
+    }
+
+    /// Checkpointer health: degraded mode, failure streaks, last error,
+    /// time since the last published checkpoint, merge failures, and the
+    /// stalled-cycle watchdog.
+    pub fn health(&self) -> &Arc<Health> {
+        &self.inner.health
     }
 
     /// The active checkpointing strategy.
@@ -418,6 +517,11 @@ impl Database {
     }
 
     fn stop_threads(&mut self) {
+        // Stop the checkpoint daemon first so no new cycle starts while
+        // the worker pool drains.
+        if let Some(svc) = self.service.take() {
+            svc.stop();
+        }
         drop(self.sender.take());
         for w in self.workers.drain(..) {
             join_bounded(w, "worker");
@@ -436,27 +540,31 @@ impl Database {
     /// Forces an fsync of the durable command log: sends a flush request
     /// to the logger thread and waits for its acknowledgement, so every
     /// record enqueued before this call is durable on return. No-op
-    /// without command logging. Panics if the logger is wedged (or has
-    /// exited on an I/O error) rather than hanging forever.
-    pub fn sync_command_log(&self) {
+    /// without command logging.
+    ///
+    /// A logger that exited on an earlier append I/O error, died
+    /// mid-flush, or is wedged past the timeout is reported as a typed
+    /// [`SyncError`] — durability is degraded, but the in-memory engine
+    /// is intact, so the caller (not this method) decides whether that
+    /// is fatal.
+    pub fn sync_command_log(&self) -> Result<(), SyncError> {
         let tx = self.inner.cmdlog_tx.lock().clone();
         if let Some(tx) = tx {
             let (ack_tx, ack_rx) = bounded(1);
             if tx.send(CmdlogMsg::Flush(ack_tx)).is_err() {
-                panic!("sync_command_log: command logger exited before the flush (I/O error?)");
+                return Err(SyncError::LoggerExited);
             }
             match ack_rx.recv_timeout(SHUTDOWN_JOIN_TIMEOUT) {
-                Ok(()) => {}
+                Ok(()) => Ok(()),
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    panic!("sync_command_log: command logger died mid-flush (I/O error?)");
+                    Err(SyncError::LoggerDied)
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    panic!(
-                        "sync_command_log hung: no flush acknowledgement within \
-                         {SHUTDOWN_JOIN_TIMEOUT:?}"
-                    );
+                    Err(SyncError::Timeout(SHUTDOWN_JOIN_TIMEOUT))
                 }
             }
+        } else {
+            Ok(())
         }
     }
 }
@@ -893,6 +1001,117 @@ mod tests {
     }
 
     #[test]
+    fn service_enters_and_exits_degraded_mode_under_io_failure() {
+        use calc_common::simfs::{SimVfs, TransientKind, TransientSpec};
+        let vfs = SimVfs::new(0x0DE6_0DE6);
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(AddProc));
+        let mut config = EngineConfig::new(
+            StrategyKind::PCalc,
+            1024,
+            16,
+            std::path::PathBuf::from("/sim/ckpts"),
+        );
+        config.vfs = Arc::new(vfs.clone());
+        config.workers = 2;
+        config.checkpoint_interval = Some(Duration::from_millis(2));
+        config.checkpoint_tuning.backoff_base = Duration::from_millis(1);
+        config.checkpoint_tuning.backoff_cap = Duration::from_millis(5);
+        config.checkpoint_tuning.degraded_after = 2;
+        let db = Database::open(config, registry).unwrap();
+        for k in 0..16u64 {
+            db.load_initial(Key(k), &0u64.to_le_bytes()).unwrap();
+        }
+        db.finalize_load(true).unwrap();
+
+        // Break the disk: every checkpoint write fails until healed.
+        vfs.arm_transient(TransientSpec {
+            kind: TransientKind::WriteError,
+            from: vfs.counts().data_ops(),
+            count: u64::MAX,
+        });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !db.health().degraded() {
+            assert!(Instant::now() < deadline, "daemon never entered degraded mode");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Degraded, not dead: transactions keep committing.
+        let out = db.execute(ProcId(1), add_params(3, 7, u64::MAX));
+        assert!(matches!(out, TxnOutcome::Committed(_)));
+        assert!(db.health().last_error().is_some());
+        assert!(db.strategy().aborted_cycles() > 0, "failed cycles not rolled back");
+
+        // Heal the disk; the daemon self-heals on its next success.
+        vfs.arm_transient(TransientSpec {
+            kind: TransientKind::WriteError,
+            from: 0,
+            count: 0,
+        });
+        while db.health().degraded() || db.health().degraded_exits() == 0 {
+            assert!(Instant::now() < deadline, "daemon never self-healed");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(db.health().consecutive_failures(), 0);
+        assert!(db.health().time_since_last_success().is_some());
+        db.shutdown();
+    }
+
+    #[test]
+    fn failed_background_merge_is_reported_and_retried() {
+        use calc_common::simfs::{SimVfs, TransientKind, TransientSpec};
+        let vfs = SimVfs::new(0x4E26_0001);
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(AddProc));
+        let mut config = EngineConfig::new(
+            StrategyKind::PCalc,
+            1024,
+            16,
+            std::path::PathBuf::from("/sim/ckpts"),
+        );
+        config.vfs = Arc::new(vfs.clone());
+        config.workers = 2;
+        config.merge_batch = Some(2);
+        let db = Database::open(config, registry).unwrap();
+        for k in 0..32u64 {
+            db.load_initial(Key(k), &0u64.to_le_bytes()).unwrap();
+        }
+        db.finalize_load(true).unwrap();
+
+        // Park the merger behind its serial lock so the ENOSPC window can
+        // be armed after the triggering checkpoints' own writes, making
+        // the failure deterministic.
+        let parked = db.inner.merge_serial.lock();
+        for round in 0..2u64 {
+            db.execute(ProcId(1), add_params(round, 1, u64::MAX));
+            db.checkpoint_now().unwrap();
+        }
+        vfs.arm_transient(TransientSpec {
+            kind: TransientKind::Enospc,
+            from: vfs.counts().data_ops(),
+            count: u64::MAX,
+        });
+        drop(parked);
+        db.join_mergers();
+        assert_eq!(db.health().merge_failures(), 1, "collapse error swallowed");
+        let msg = db.health().last_merge_error().expect("merge error recorded");
+        assert!(!msg.is_empty());
+
+        // Disk recovers; the next successful checkpoint retries the merge
+        // even though it is off the batch boundary.
+        vfs.arm_transient(TransientSpec {
+            kind: TransientKind::Enospc,
+            from: 0,
+            count: 0,
+        });
+        db.execute(ProcId(1), add_params(9, 1, u64::MAX));
+        db.checkpoint_now().unwrap();
+        db.join_mergers();
+        assert_eq!(db.health().merge_failures(), 1, "retry failed again");
+        let (full, _) = db.checkpoint_dir().recovery_chain().unwrap().unwrap();
+        assert!(full.id > 0, "retried merge did not produce a collapsed full");
+    }
+
+    #[test]
     fn end_to_end_recovery_via_engine() {
         let db = db(StrategyKind::Calc, "e2e-recovery");
         for k in 0..20u64 {
@@ -964,6 +1183,47 @@ mod cmdlog_tests {
     }
 
     #[test]
+    fn dead_command_logger_degrades_to_sync_error() {
+        use calc_common::simfs::{SimVfs, TransientKind, TransientSpec};
+        // Regression: a logger thread killed by an append I/O error used
+        // to abort the whole process via a panic in sync_command_log.
+        let vfs = SimVfs::new(0xDEAD_1066);
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(SetProc));
+        let mut config = EngineConfig::new(
+            StrategyKind::Calc,
+            256,
+            16,
+            std::path::PathBuf::from("/sim/ckpts"),
+        );
+        config.command_log_path = Some(std::path::PathBuf::from("/sim/cmd.log"));
+        config.vfs = Arc::new(vfs.clone());
+        config.workers = 2;
+        let db = Database::open(config, registry).unwrap();
+        // Fail every write from here on: the logger's next append dies
+        // and the thread exits.
+        vfs.arm_transient(TransientSpec {
+            kind: TransientKind::WriteError,
+            from: vfs.counts().data_ops(),
+            count: u64::MAX,
+        });
+        let out = db.execute(ProcId(1), params::Writer::new().u64(1).u64(1).finish());
+        assert!(
+            matches!(out, TxnOutcome::Committed(_)),
+            "commit must survive a dead logger"
+        );
+        let r = db.sync_command_log();
+        assert!(
+            matches!(r, Err(SyncError::LoggerExited) | Err(SyncError::LoggerDied)),
+            "expected a typed sync error, got {r:?}"
+        );
+        // The engine is still alive: more commits, clean shutdown.
+        let out = db.execute(ProcId(1), params::Writer::new().u64(2).u64(2).finish());
+        assert!(matches!(out, TxnOutcome::Committed(_)));
+        db.shutdown();
+    }
+
+    #[test]
     fn durable_command_log_collects_all_commits_group_committed() {
         let base = std::env::temp_dir().join(format!(
             "calc-cmdlog-{}-{}",
@@ -1025,7 +1285,7 @@ mod cmdlog_tests {
             for i in 0..40u64 {
                 db.execute(ProcId(1), params::Writer::new().u64(i).u64(round).finish());
             }
-            db.sync_command_log();
+            db.sync_command_log().expect("flush handshake");
             // The database is still live; the synced prefix must already
             // be on disk.
             let records = calc_recovery::CommandLogReader::open(&log_path)

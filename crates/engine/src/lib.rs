@@ -13,9 +13,11 @@
 //!   points of consistency), checkpoint triggering, and background
 //!   merging of partial checkpoints.
 //! * [`metrics`] — commit/abort counters, a submission-to-commit latency
-//!   histogram (queueing included, as Figure 5 requires), and the
+//!   histogram (queueing included, as Figure 5 requires), the
 //!   [`metrics::Sampler`] that records throughput/memory timelines for
-//!   the figures.
+//!   the figures, and the checkpointer [`metrics::Health`] state.
+//! * [`service`] — the supervised checkpoint daemon: cadence, error
+//!   classification, backoff retries, and degraded mode.
 
 #![warn(missing_docs)]
 
@@ -24,7 +26,9 @@ pub mod db;
 pub mod metrics;
 #[cfg(feature = "conform")]
 pub mod recorder;
+pub mod service;
 
 pub use config::{EngineConfig, StrategyKind};
-pub use db::{Database, TxnOutcome};
-pub use metrics::{Metrics, Sampler, TimelinePoint};
+pub use db::{Database, SyncError, TxnOutcome};
+pub use metrics::{Health, Metrics, Sampler, TimelinePoint};
+pub use service::{classify, CheckpointService, ErrorClass, ServiceTuning};

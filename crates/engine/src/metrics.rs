@@ -1,11 +1,17 @@
-//! Engine metrics: counters, latency histogram, and timeline sampling.
+//! Engine metrics: counters, latency histogram, checkpointer health, and
+//! timeline sampling.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+
 use calc_common::hist::Histogram;
 use calc_core::strategy::CheckpointStrategy;
+
+use crate::service::ErrorClass;
 
 /// Shared engine counters. Latency is measured from *submission* to
 /// commit, so queueing during quiesce periods shows up — exactly what
@@ -72,6 +78,189 @@ impl std::fmt::Debug for Metrics {
             self.committed(),
             self.aborted(),
             self.latency
+        )
+    }
+}
+
+/// Sentinel for "no timestamp recorded" in [`Health`]'s nanosecond slots.
+const NEVER: u64 = u64::MAX;
+
+/// Checkpointer health, shared between the [`crate::service::CheckpointService`],
+/// manual [`crate::Database::checkpoint_now`] calls, the background
+/// merger, and observers.
+///
+/// All fields are monotonic counters or last-value slots so readers never
+/// block writers; timestamps are nanoseconds since construction so they
+/// fit in atomics. The stalled-cycle watchdog is computed lazily by
+/// readers ([`Health::stalled`]) instead of by a dedicated timer thread.
+pub struct Health {
+    started: Instant,
+    degraded_after: u32,
+    watchdog: Duration,
+    consecutive_failures: AtomicU32,
+    total_failures: AtomicU64,
+    degraded: AtomicBool,
+    degraded_entries: AtomicU64,
+    degraded_exits: AtomicU64,
+    /// Class + message of the last failed cycle.
+    last_error: Mutex<Option<(ErrorClass, String)>>,
+    /// Nanos-since-start of the last successfully published checkpoint.
+    last_success_nanos: AtomicU64,
+    /// Nanos-since-start when the in-flight cycle began ([`NEVER`] when
+    /// no cycle is running) — the watchdog's reference point.
+    cycle_started_nanos: AtomicU64,
+    /// Background partial-checkpoint merges that failed.
+    merge_failures: AtomicU64,
+    last_merge_error: Mutex<Option<String>>,
+}
+
+impl Health {
+    /// Fresh health state. `degraded_after` consecutive cycle failures
+    /// (or one fatal failure) enter degraded mode; a cycle running longer
+    /// than `watchdog` is reported stalled.
+    pub fn new(degraded_after: u32, watchdog: Duration) -> Self {
+        Health {
+            started: Instant::now(),
+            degraded_after: degraded_after.max(1),
+            watchdog,
+            consecutive_failures: AtomicU32::new(0),
+            total_failures: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            degraded_entries: AtomicU64::new(0),
+            degraded_exits: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+            last_success_nanos: AtomicU64::new(NEVER),
+            cycle_started_nanos: AtomicU64::new(NEVER),
+            merge_failures: AtomicU64::new(0),
+            last_merge_error: Mutex::new(None),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        // Saturate far below NEVER; ~584 years of uptime before wrap.
+        self.started.elapsed().as_nanos().min((NEVER - 1) as u128) as u64
+    }
+
+    /// A checkpoint cycle is starting (arms the watchdog).
+    pub fn cycle_started(&self) {
+        self.cycle_started_nanos
+            .store(self.now_nanos(), Ordering::Release);
+    }
+
+    /// The in-flight cycle published successfully: resets the failure
+    /// streak and exits degraded mode (self-heal).
+    pub fn cycle_succeeded(&self) {
+        self.last_success_nanos
+            .store(self.now_nanos(), Ordering::Release);
+        self.cycle_started_nanos.store(NEVER, Ordering::Release);
+        self.consecutive_failures.store(0, Ordering::Release);
+        if self.degraded.swap(false, Ordering::AcqRel) {
+            self.degraded_exits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The in-flight cycle failed. Enters degraded mode when the streak
+    /// reaches the threshold, or immediately on a fatal error. Returns
+    /// `true` if this failure newly entered degraded mode.
+    pub fn cycle_failed(&self, class: ErrorClass, err: &io::Error) -> bool {
+        self.cycle_started_nanos.store(NEVER, Ordering::Release);
+        let streak = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        self.total_failures.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock() = Some((class, err.to_string()));
+        if class == ErrorClass::Fatal || streak >= self.degraded_after {
+            if !self.degraded.swap(true, Ordering::AcqRel) {
+                self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A background partial-checkpoint merge failed (it will be retried
+    /// at the next merge trigger).
+    pub fn record_merge_failure(&self, err: &io::Error) {
+        self.merge_failures.fetch_add(1, Ordering::Relaxed);
+        *self.last_merge_error.lock() = Some(err.to_string());
+    }
+
+    /// Whether the engine is in degraded mode: checkpointing is failing,
+    /// but transactions keep committing and the command log keeps
+    /// growing, so recovery works — with a longer replay.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Times degraded mode has been entered.
+    pub fn degraded_entries(&self) -> u64 {
+        self.degraded_entries.load(Ordering::Relaxed)
+    }
+
+    /// Times degraded mode has been exited (self-heals).
+    pub fn degraded_exits(&self) -> u64 {
+        self.degraded_exits.load(Ordering::Relaxed)
+    }
+
+    /// Current streak of failed cycles.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures.load(Ordering::Acquire)
+    }
+
+    /// Total failed cycles over the engine's lifetime.
+    pub fn total_failures(&self) -> u64 {
+        self.total_failures.load(Ordering::Relaxed)
+    }
+
+    /// Class and message of the most recent cycle failure.
+    pub fn last_error(&self) -> Option<(ErrorClass, String)> {
+        self.last_error.lock().clone()
+    }
+
+    /// Time since the last successfully published checkpoint (`None` if
+    /// none has ever published) — the recovery-replay-length proxy.
+    pub fn time_since_last_success(&self) -> Option<Duration> {
+        match self.last_success_nanos.load(Ordering::Acquire) {
+            NEVER => None,
+            n => Some(self.started.elapsed().saturating_sub(Duration::from_nanos(n))),
+        }
+    }
+
+    /// Watchdog: `true` while an in-flight cycle has been running longer
+    /// than the configured budget. Distinguishes "cycles failing fast"
+    /// (degraded mode, retries in progress) from "a cycle is wedged and
+    /// nothing is being retried at all".
+    pub fn stalled(&self) -> bool {
+        match self.cycle_started_nanos.load(Ordering::Acquire) {
+            NEVER => false,
+            n => self.started.elapsed().saturating_sub(Duration::from_nanos(n)) > self.watchdog,
+        }
+    }
+
+    /// The stalled-cycle budget.
+    pub fn watchdog(&self) -> Duration {
+        self.watchdog
+    }
+
+    /// Background merges that failed.
+    pub fn merge_failures(&self) -> u64 {
+        self.merge_failures.load(Ordering::Relaxed)
+    }
+
+    /// Message of the most recent merge failure.
+    pub fn last_merge_error(&self) -> Option<String> {
+        self.last_merge_error.lock().clone()
+    }
+}
+
+impl std::fmt::Debug for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Health(degraded={}, streak={}, total_failures={}, merge_failures={}, stalled={})",
+            self.degraded(),
+            self.consecutive_failures(),
+            self.total_failures(),
+            self.merge_failures(),
+            self.stalled()
         )
     }
 }
@@ -168,6 +357,37 @@ impl Drop for Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn health_degraded_threshold_and_self_heal() {
+        let h = Health::new(2, Duration::from_secs(1));
+        let err = io::Error::new(io::ErrorKind::Interrupted, "x");
+        assert!(!h.cycle_failed(ErrorClass::Transient, &err));
+        assert!(!h.degraded());
+        assert!(h.cycle_failed(ErrorClass::Transient, &err));
+        assert!(h.degraded());
+        assert_eq!(h.consecutive_failures(), 2);
+        // Further failures do not re-enter.
+        assert!(!h.cycle_failed(ErrorClass::Transient, &err));
+        assert_eq!(h.degraded_entries(), 1);
+        h.cycle_succeeded();
+        assert!(!h.degraded());
+        assert_eq!(h.degraded_exits(), 1);
+        assert_eq!(h.consecutive_failures(), 0);
+        assert_eq!(h.total_failures(), 3);
+    }
+
+    #[test]
+    fn health_watchdog_is_lazy_and_cycle_scoped() {
+        let h = Health::new(3, Duration::from_millis(2));
+        assert!(!h.stalled(), "no cycle in flight");
+        h.cycle_started();
+        assert!(!h.stalled(), "budget not yet exceeded");
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(h.stalled(), "overdue cycle must trip the watchdog");
+        h.cycle_succeeded();
+        assert!(!h.stalled(), "completed cycle must clear the watchdog");
+    }
 
     #[test]
     fn counters_and_latency() {

@@ -1,0 +1,370 @@
+//! The supervised checkpoint daemon.
+//!
+//! [`CheckpointService`] runs checkpoint cycles on a configurable cadence
+//! ([`crate::EngineConfig::checkpoint_interval`]) and makes checkpoint
+//! failure a *survivable* condition rather than a process-level event:
+//!
+//! * Each cycle error is classified ([`classify`]) as [`ErrorClass::Transient`]
+//!   (worth retrying soon), [`ErrorClass::DiskFull`] (ENOSPC — retrying is
+//!   only useful once space frees, but it is still not fatal to the
+//!   engine), or [`ErrorClass::Fatal`] (misconfiguration; retrying at the
+//!   normal cadence documents the condition without hammering the disk).
+//! * Transient and disk-full failures retry under capped exponential
+//!   backoff with deterministic jitter ([`calc_common::Backoff`]), seeded
+//!   from the engine config so simulated-VFS runs replay exactly.
+//! * The strategy layer guarantees a failed cycle is *harmless* (see
+//!   `CheckpointStrategy::checkpoint`'s contract): the daemon can simply
+//!   try again and the next successful cycle covers everything the failed
+//!   ones would have.
+//! * After `degraded_after` consecutive failures the engine enters
+//!   **degraded mode** — transactions keep committing and the command log
+//!   keeps growing (recovery still works, just with a longer replay); the
+//!   shared [`Health`] struct reports the state and the service exits it
+//!   on the first successful cycle (self-healing).
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use calc_common::Backoff;
+
+use crate::metrics::Health;
+
+/// What kind of failure a checkpoint cycle hit — drives the retry policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Plausibly goes away on its own (interrupted write, timeout,
+    /// broken pipe): retry under backoff.
+    Transient,
+    /// `ENOSPC`. Its own class because it has its own remedy (free disk
+    /// space) and its own urgency: every checkpoint will fail until an
+    /// operator acts, but the engine itself is unharmed.
+    DiskFull,
+    /// Misconfiguration or a broken environment (permissions, missing
+    /// directory, invalid data): retrying quickly cannot help.
+    Fatal,
+}
+
+impl std::fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::DiskFull => "disk-full",
+            ErrorClass::Fatal => "fatal",
+        })
+    }
+}
+
+/// Classifies an I/O error from a checkpoint cycle.
+///
+/// ENOSPC is detected by raw OS errno (28) first: `io::ErrorKind` maps it
+/// to the unstable `StorageFull` kind, which `ErrorKind::Other` matching
+/// would misfile. Everything not explicitly fatal is treated as
+/// transient — the optimistic default is safe because a failed cycle is
+/// harmless and capped backoff bounds the retry cost.
+pub fn classify(e: &io::Error) -> ErrorClass {
+    if e.raw_os_error() == Some(28) {
+        return ErrorClass::DiskFull;
+    }
+    match e.kind() {
+        io::ErrorKind::PermissionDenied
+        | io::ErrorKind::NotFound
+        | io::ErrorKind::InvalidInput
+        | io::ErrorKind::InvalidData
+        | io::ErrorKind::Unsupported => ErrorClass::Fatal,
+        _ => ErrorClass::Transient,
+    }
+}
+
+/// Retry / degradation tuning for the checkpoint daemon (and for health
+/// accounting on manually triggered cycles).
+#[derive(Clone, Debug)]
+pub struct ServiceTuning {
+    /// First retry delay after a failed cycle.
+    pub backoff_base: Duration,
+    /// Ceiling on the retry delay.
+    pub backoff_cap: Duration,
+    /// Seed for the backoff's deterministic jitter.
+    pub backoff_seed: u64,
+    /// Consecutive failed cycles before entering degraded mode. A fatal
+    /// error enters degraded mode immediately.
+    pub degraded_after: u32,
+    /// How long a single cycle may run before [`Health::stalled`] reports
+    /// the checkpointer as wedged.
+    pub watchdog: Duration,
+}
+
+impl Default for ServiceTuning {
+    fn default() -> Self {
+        ServiceTuning {
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(5),
+            backoff_seed: 0xca1c_b0ff,
+            degraded_after: 3,
+            watchdog: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Stop flag + condvar so the daemon's inter-cycle sleep is interruptible:
+/// shutdown never waits out a full interval (or a long backoff).
+struct StopCell {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Background daemon running checkpoint cycles. See module docs.
+pub struct CheckpointService {
+    cell: Arc<StopCell>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CheckpointService {
+    /// Starts the daemon: every `interval` it runs `cycle`, recording the
+    /// outcome in `health` and applying the retry policy above. `cycle`
+    /// is a closure (not a `Database` reference) so the policy can be
+    /// tested against scripted failure sequences.
+    pub fn start<F>(
+        interval: Duration,
+        tuning: ServiceTuning,
+        health: Arc<Health>,
+        mut cycle: F,
+    ) -> Self
+    where
+        F: FnMut() -> io::Result<()> + Send + 'static,
+    {
+        let cell = Arc::new(StopCell {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let cell2 = cell.clone();
+        let handle = std::thread::Builder::new()
+            .name("calc-ckpt-service".into())
+            .spawn(move || {
+                let mut backoff =
+                    Backoff::new(tuning.backoff_base, tuning.backoff_cap, tuning.backoff_seed);
+                let mut wait = interval;
+                loop {
+                    {
+                        let mut stopped = cell2.stopped.lock();
+                        if !*stopped {
+                            cell2.cv.wait_for(&mut stopped, wait);
+                        }
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    health.cycle_started();
+                    match cycle() {
+                        Ok(()) => {
+                            health.cycle_succeeded();
+                            backoff.reset();
+                            wait = interval;
+                        }
+                        Err(e) => {
+                            let class = classify(&e);
+                            health.cycle_failed(class, &e);
+                            wait = match class {
+                                // Hammering a broken config or a full disk
+                                // with millisecond retries helps nobody;
+                                // probe at the capped delay so recovery of
+                                // the environment is still noticed.
+                                ErrorClass::Fatal => interval.max(tuning.backoff_cap),
+                                ErrorClass::Transient | ErrorClass::DiskFull => {
+                                    backoff.next_delay()
+                                }
+                            };
+                        }
+                    }
+                }
+            })
+            .expect("spawn checkpoint service");
+        CheckpointService {
+            cell,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the daemon, interrupting any inter-cycle wait. An in-flight
+    /// cycle finishes first (cycles are harmless to fail but not to kill).
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        *self.cell.stopped.lock() = true;
+        self.cell.cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CheckpointService {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Instant;
+
+    fn tuning() -> ServiceTuning {
+        ServiceTuning {
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            backoff_seed: 7,
+            degraded_after: 3,
+            watchdog: Duration::from_secs(30),
+        }
+    }
+
+    fn wait_until(deadline: Duration, mut f: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    #[test]
+    fn classify_taxonomy() {
+        assert_eq!(
+            classify(&io::Error::from_raw_os_error(28)),
+            ErrorClass::DiskFull
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::Interrupted, "x")),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::TimedOut, "x")),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::PermissionDenied, "x")),
+            ErrorClass::Fatal
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::InvalidData, "x")),
+            ErrorClass::Fatal
+        );
+    }
+
+    #[test]
+    fn degraded_mode_entered_and_exited() {
+        // Three transient failures enter degraded mode; the next success
+        // exits it. The command-log side of "transactions keep committing"
+        // is covered by the engine-level test in `db.rs`.
+        let health = Arc::new(Health::new(3, Duration::from_secs(30)));
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls2 = calls.clone();
+        let svc = CheckpointService::start(
+            Duration::from_millis(1),
+            tuning(),
+            health.clone(),
+            move || {
+                let n = calls2.fetch_add(1, Ordering::Relaxed);
+                if n < 3 {
+                    Err(io::Error::new(io::ErrorKind::Interrupted, "injected"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(
+            wait_until(Duration::from_secs(10), || health.degraded_entries() >= 1),
+            "never entered degraded mode"
+        );
+        assert!(
+            wait_until(Duration::from_secs(10), || !health.degraded()
+                && health.degraded_exits() >= 1),
+            "never self-healed out of degraded mode"
+        );
+        svc.stop();
+        assert_eq!(health.degraded_entries(), 1);
+        assert_eq!(health.degraded_exits(), 1);
+        assert_eq!(health.consecutive_failures(), 0);
+        assert!(health.time_since_last_success().is_some());
+        let (class, msg) = health.last_error().expect("error recorded");
+        assert_eq!(class, ErrorClass::Transient);
+        assert!(msg.contains("injected"));
+    }
+
+    #[test]
+    fn fatal_error_enters_degraded_immediately() {
+        let health = Arc::new(Health::new(100, Duration::from_secs(30)));
+        let svc = CheckpointService::start(
+            Duration::from_millis(1),
+            tuning(),
+            health.clone(),
+            move || Err(io::Error::new(io::ErrorKind::PermissionDenied, "denied")),
+        );
+        assert!(
+            wait_until(Duration::from_secs(10), || health.degraded()),
+            "fatal error did not enter degraded mode"
+        );
+        svc.stop();
+        assert_eq!(health.last_error().unwrap().0, ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn watchdog_flags_a_stalled_cycle() {
+        // A cycle that outlives the watchdog budget is reported as stalled
+        // while it runs, and the flag clears once it completes.
+        let health = Arc::new(Health::new(3, Duration::from_millis(5)));
+        let release = Arc::new(StopCell {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let release2 = release.clone();
+        let svc = CheckpointService::start(
+            Duration::from_millis(1),
+            tuning(),
+            health.clone(),
+            move || {
+                let mut done = release2.stopped.lock();
+                while !*done {
+                    release2.cv.wait_for(&mut done, Duration::from_millis(50));
+                }
+                Ok(())
+            },
+        );
+        assert!(
+            wait_until(Duration::from_secs(10), || health.stalled()),
+            "watchdog never fired on a wedged cycle"
+        );
+        *release.stopped.lock() = true;
+        release.cv.notify_all();
+        assert!(
+            wait_until(Duration::from_secs(10), || !health.stalled()),
+            "stalled flag did not clear after the cycle completed"
+        );
+        svc.stop();
+    }
+
+    #[test]
+    fn stop_interrupts_a_long_interval() {
+        let health = Arc::new(Health::new(3, Duration::from_secs(30)));
+        let svc = CheckpointService::start(
+            Duration::from_secs(3600),
+            tuning(),
+            health,
+            move || Ok(()),
+        );
+        let start = Instant::now();
+        svc.stop();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "stop waited out the interval"
+        );
+    }
+}

@@ -325,6 +325,66 @@ mod tests {
         assert_eq!(recovered.record_count(), primary.record_count());
     }
 
+    /// ISSUE satellite: when the newest full checkpoint is corrupt on
+    /// disk, recovery must quarantine it and fall back to the previous
+    /// full, paying with a longer command-log replay — and lose nothing.
+    #[test]
+    fn corrupt_latest_full_falls_back_to_previous_full() {
+        let log = Arc::new(CommitLog::new(true));
+        let primary = CalcStrategy::full(StoreConfig::for_records(256, 16), log.clone());
+        let d = dir("corruptfull");
+
+        for k in 0..10 {
+            run_set(&primary, &log, k, k * 2);
+        }
+        let first = primary.checkpoint(&NoopEnv, &d).unwrap();
+        for k in 10..15 {
+            run_set(&primary, &log, k, 1000 + k);
+        }
+        primary.checkpoint(&NoopEnv, &d).unwrap();
+        for k in 15..18 {
+            run_set(&primary, &log, k, 2000 + k);
+        }
+
+        // Corrupt the newest full's body (bit-rot past the header); its
+        // checksum no longer verifies.
+        let newest = d.path().join("ckpt-0000000001-full.calc");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(SetProc));
+        let recovered = CalcStrategy::full(
+            StoreConfig::for_records(256, 16),
+            Arc::new(CommitLog::new(true)),
+        );
+        let commands = log.commits_after(CommitSeq::ZERO);
+        let outcome = recover(&d, &recovered, &registry, &commands).unwrap();
+
+        // Fell back to full #1: 10 loaded records, the older watermark,
+        // and the 8 post-#1 transactions recovered via replay instead.
+        assert_eq!(outcome.loaded_records, 10);
+        assert_eq!(outcome.watermark, first.watermark);
+        assert_eq!(outcome.replayed, 8);
+        assert_eq!(d.quarantined_count(), 1);
+        assert!(
+            d.path()
+                .join("ckpt-0000000001-full.calc.quarantine")
+                .exists(),
+            "corrupt file not set aside"
+        );
+        for k in 0..18u64 {
+            assert_eq!(
+                recovered.get(Key(k)),
+                primary.get(Key(k)),
+                "key {k} diverged after fallback"
+            );
+        }
+        assert_eq!(recovered.record_count(), primary.record_count());
+    }
+
     #[test]
     fn checkpoint_only_loses_post_checkpoint_txns() {
         let log = Arc::new(CommitLog::new(false));

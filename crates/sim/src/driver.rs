@@ -23,16 +23,18 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 use calc_common::phase::Phase;
 use calc_common::rng::SplitMix;
-use calc_common::simfs::{DirCrashMode, FaultSpec, OpCounts, SimVfs};
+use calc_common::simfs::{DirCrashMode, FaultSpec, OpCounts, SimVfs, TransientKind, TransientSpec};
 use calc_common::types::{Key, TxnId};
 use calc_common::vfs::Vfs;
+use calc_common::Backoff;
 use calc_core::manifest::CheckpointDir;
 use calc_core::strategy::{CheckpointStrategy, NoopEnv, TxnToken};
 use calc_core::throttle::Throttle;
-use calc_engine::StrategyKind;
+use calc_engine::{classify, ErrorClass, StrategyKind};
 use calc_recovery::logfile::{CommandLogReader, CommandLogWriter};
 use calc_recovery::replay::{recover, RecoveryError};
 use calc_storage::dual::StoreConfig;
@@ -43,6 +45,31 @@ use crate::model::{gen_op, model_at, Op};
 use crate::procs::registry;
 
 const WORKLOAD_SALT: u64 = 0x5e11_ab1e_0b5e_55ed;
+const BACKOFF_SALT: u64 = 0xb0ff_b0ff_b0ff_b0ff;
+
+/// Where transient I/O errors are injected during the live run.
+#[derive(Clone, Copy, Debug)]
+pub enum TransientPlan {
+    /// One absolute window over the VFS's data-op indices (writes +
+    /// creates): hits whatever the run is doing at those indices —
+    /// checkpoint captures, command-log appends, or both.
+    Window(TransientSpec),
+    /// Re-arm a fresh window of `count` data ops at the start of *every*
+    /// checkpoint cycle, so each capture fails at least once and must be
+    /// retried. This is the harmless-failure regression driver: without
+    /// the strategies' failure hooks (dirty-bit restore, tombstone
+    /// re-queue), the retried cycle would silently skip everything the
+    /// failed attempt consumed.
+    EveryCheckpoint {
+        /// What kind of transient error the window injects.
+        kind: TransientKind,
+        /// Window length in data ops. With `WriteError`, `2` makes each
+        /// cycle fail exactly once: the capture's `create` passes (but
+        /// consumes an index), its first write fails, and the retry
+        /// starts past the window.
+        count: u64,
+    },
+}
 
 /// Specification of one crash experiment.
 #[derive(Clone, Debug)]
@@ -61,6 +88,11 @@ pub struct SimSpec {
     pub sync_every: u64,
     /// How pending directory entries behave at crash time.
     pub dir_crash_mode: DirCrashMode,
+    /// Transient I/O error injection, if any.
+    pub transient: Option<TransientPlan>,
+    /// Retries per checkpoint cycle before giving up on that cycle
+    /// (degraded: the run continues on the command log alone).
+    pub ckpt_retries: u32,
 }
 
 impl SimSpec {
@@ -75,6 +107,8 @@ impl SimSpec {
             checkpoint_every: 10,
             sync_every: 8,
             dir_crash_mode: DirCrashMode::Seeded,
+            transient: None,
+            ckpt_retries: 3,
         }
     }
 
@@ -128,6 +162,14 @@ pub struct SimReport {
     /// True when the strategy was refused by recovery as
     /// not-transaction-consistent (expected for Fuzzy).
     pub refused_not_tc: bool,
+    /// Checkpoint attempts that failed during the live run (retried
+    /// attempts count individually).
+    pub ckpt_failures: u64,
+    /// The strategy's own count of harmlessly rolled-back cycles at
+    /// crash time.
+    pub aborted_cycles: u64,
+    /// Transient errors the armed window actually injected.
+    pub transient_hits: u64,
 }
 
 /// Serial execution bridge routing procedure ops to the strategy.
@@ -178,12 +220,17 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
         None => SimVfs::new(spec.seed),
     };
     vfs.set_dir_crash_mode(spec.dir_crash_mode);
+    if let Some(TransientPlan::Window(w)) = spec.transient {
+        vfs.arm_transient(w);
+    }
     let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
     let ckpt_dir = PathBuf::from("/sim/ckpts");
     let log_path = PathBuf::from("/sim/cmd.log");
 
     let mut committed: Vec<(u64, Op)> = Vec::new();
     let mut durable_floor = 0u64;
+    let mut ckpt_failures = 0u64;
+    let mut aborted_cycles = 0u64;
     let reg = registry();
 
     // ---- Phase 1: live run, ended by the fault or by running out of work.
@@ -208,6 +255,11 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
             break 'live;
         }
         let mut rng = SplitMix::new(spec.seed ^ WORKLOAD_SALT);
+        let mut backoff = Backoff::new(
+            Duration::from_millis(1),
+            Duration::from_millis(64),
+            spec.seed ^ BACKOFF_SALT,
+        );
 
         for i in 0..spec.txns {
             let op = gen_op(&mut rng);
@@ -249,12 +301,44 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
                 }
             }
             if (i + 1) % spec.checkpoint_every == 0 {
-                match strategy.checkpoint(&NoopEnv, &dir) {
-                    Ok(stats) if vfs.fsyncs_dropped() == 0 => {
-                        durable_floor = durable_floor.max(stats.watermark.0)
+                if let Some(TransientPlan::EveryCheckpoint { kind, count }) = spec.transient {
+                    vfs.arm_transient(TransientSpec {
+                        kind,
+                        from: vfs.counts().data_ops(),
+                        count,
+                    });
+                }
+                // Mirror the engine's supervised daemon: a failed cycle is
+                // harmless (the strategy rolled its coverage forward), so
+                // transient and disk-full errors retry under the same
+                // seeded backoff policy. Delays are recorded by the
+                // backoff's jitter stream but not slept — simulated time.
+                backoff.reset();
+                let mut attempts = 0u32;
+                loop {
+                    match strategy.checkpoint(&NoopEnv, &dir) {
+                        Ok(stats) => {
+                            if vfs.fsyncs_dropped() == 0 {
+                                durable_floor = durable_floor.max(stats.watermark.0);
+                            }
+                            break;
+                        }
+                        Err(e) => {
+                            ckpt_failures += 1;
+                            aborted_cycles = strategy.aborted_cycles();
+                            match classify(&e) {
+                                ErrorClass::Fatal => break 'live,
+                                _ if attempts < spec.ckpt_retries => {
+                                    attempts += 1;
+                                    let _delay = backoff.next_delay();
+                                }
+                                // Degraded: give up on this cycle and run
+                                // on — the command log alone keeps every
+                                // commit recoverable.
+                                _ => break,
+                            }
+                        }
                     }
-                    Ok(_) => {}
-                    Err(_) => break 'live,
                 }
             }
         }
@@ -311,6 +395,9 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
                     durable_floor,
                     counts,
                     refused_not_tc: true,
+                    ckpt_failures,
+                    aborted_cycles,
+                    transient_hits: vfs.transient_hits(),
                 });
             }
             return Err(violation(
@@ -371,6 +458,9 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
         durable_floor,
         counts,
         refused_not_tc: false,
+        ckpt_failures,
+        aborted_cycles,
+        transient_hits: vfs.transient_hits(),
     })
 }
 

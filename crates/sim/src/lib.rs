@@ -30,5 +30,5 @@ pub mod driver;
 pub mod model;
 pub mod procs;
 
-pub use driver::{base_seed, run_sim, OracleViolation, SimReport, SimSpec};
+pub use driver::{base_seed, run_sim, OracleViolation, SimReport, SimSpec, TransientPlan};
 pub use model::{gen_op, model_at, Op};

@@ -338,6 +338,28 @@ impl TripleStore {
         Some((key, value))
     }
 
+    /// Re-injects a point-of-consistency value consumed by a *failed*
+    /// checkpoint capture into the **current** array, so the next capture
+    /// covers it. Skipped when the slot was reclaimed/reused or when the
+    /// current copy is already dirty — a post-flip write supersedes the
+    /// failed capture's older value.
+    pub fn restore_to_current(&self, slot: SlotId, key: Key, value: &Value) {
+        let cur = self.current_array();
+        let mut g = self.slots[slot as usize].lock();
+        if !g.in_use || g.key != key.0 {
+            return;
+        }
+        if self.dirty[cur].get(slot as usize) {
+            return;
+        }
+        let copy = value.clone();
+        self.pingpong_mem.add(copy.len());
+        if let Some(old) = g.pingpong[cur].replace(copy) {
+            self.pingpong_mem.sub(old.len());
+        }
+        self.dirty[cur].set(slot as usize, true);
+    }
+
     /// Iterates the in-memory last consistent snapshot (full-IPP): every
     /// `(key, value)` in slot order. Panics if the store was built without
     /// a snapshot.

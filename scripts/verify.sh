@@ -28,4 +28,10 @@ for seed in 0xC0F0202600000000 0x5EEDFACE00000001 0xA5A5A5A500000002; do
     CONFORM_SEED="${seed}" cargo test --package calc-conform --quiet
 done
 
+echo "== tier-4: transient-fault sweep (calc-sim fault_sweep, 3 base seeds) =="
+for seed in 0xFA175EED00000000 0xBADD15C000000001 0x0E05BC0000000002; do
+    echo "  -- FAULT_SEED=${seed}"
+    FAULT_SEED="${seed}" cargo test --package calc-sim --test fault_sweep --quiet
+done
+
 echo "verify: all gates green"

@@ -162,6 +162,19 @@ impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     }
 }
 
+/// Outcome of [`Condvar::wait_for`]: whether the wait hit its timeout
+/// (parking_lot signature).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable paired with [`Mutex`] guards.
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
@@ -183,6 +196,23 @@ impl Condvar {
             .wait(inner)
             .unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(inner);
+    }
+
+    /// Atomically releases the guard's lock and waits for a notification
+    /// or the timeout, whichever comes first; the lock is re-acquired
+    /// before returning.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
     }
 
     /// Wakes one waiter.

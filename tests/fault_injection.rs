@@ -6,9 +6,7 @@
 use std::sync::Arc;
 
 use calc_db::core::calc::CalcStrategy;
-use calc_db::core::manifest::CheckpointDir;
 use calc_db::core::strategy::CheckpointStrategy;
-use calc_db::core::throttle::Throttle;
 use calc_db::engine::{Database, EngineConfig, StrategyKind};
 use calc_db::recovery;
 use calc_db::storage::dual::StoreConfig;
