@@ -36,6 +36,7 @@ use calc_txn::commitlog::{CommitLog, PhaseStamp};
 
 use calc_core::file::CheckpointKind;
 use calc_core::manifest::CheckpointDir;
+use calc_core::partition::{capture_parts, ShardPartition};
 use calc_core::strategy::{
     CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
     WriteRec,
@@ -308,60 +309,54 @@ impl CheckpointStrategy for FuzzyStrategy {
         } else {
             CheckpointKind::Full
         };
-        let result = (|| -> io::Result<(u64, u64)> {
-            let mut pending = dir.begin(kind, id, watermark)?;
-            let scan = (|| -> io::Result<()> {
-                if self.partial {
-                    for key in &tombs {
-                        pending.writer().write_tombstone(*key)?;
-                    }
-                    for &slot in &dirty {
-                        let extracted = {
-                            let g = self.store.lock_slot(slot);
-                            if g.in_use() {
-                                g.live().map(|l| (g.key(), l.to_vec()))
-                            } else {
-                                None
-                            }
-                        };
-                        if let Some((key, v)) = extracted {
-                            pending.writer().write_record(key, &v)?;
+        let threads = dir.checkpoint_threads();
+        let result = if self.partial {
+            let split = ShardPartition::over(dirty.len(), threads);
+            capture_parts(dir, kind, id, watermark, &tombs, threads, |part, w, _cancel| {
+                for &slot in &dirty[split.range(part)] {
+                    let extracted = {
+                        let g = self.store.lock_slot(slot);
+                        if g.in_use() {
+                            g.live().map(|l| (g.key(), l.to_vec()))
+                        } else {
+                            None
                         }
-                    }
-                } else {
-                    // Merge dirty records into the in-memory snapshot, then
-                    // write the whole snapshot.
-                    for &slot in &dirty {
-                        let current = {
-                            let g = self.store.lock_slot(slot);
-                            if g.in_use() {
-                                g.live().map(|l| (g.key().0, l.to_vec().into_boxed_slice()))
-                            } else {
-                                None
-                            }
-                        };
-                        self.snapshot_set(slot, current);
-                    }
-                    let snapshot = self.snapshot.as_ref().expect("full variant");
-                    for entry in snapshot.iter().take(self.store.slot_high_water()) {
-                        let e = entry.lock();
-                        if let Some((k, v)) = e.as_ref() {
-                            pending.writer().write_record(Key(*k), v)?;
-                        }
+                    };
+                    if let Some((key, v)) = extracted {
+                        w.write_record(key, &v)?;
                     }
                 }
                 Ok(())
-            })();
-            match scan {
-                Ok(()) => pending.publish(),
-                Err(e) => {
-                    pending.abandon();
-                    Err(e)
-                }
+            })
+        } else {
+            // Merge dirty records into the in-memory snapshot (serial —
+            // it is pure memory work), then stripe the snapshot write
+            // over the capture threads.
+            for &slot in &dirty {
+                let current = {
+                    let g = self.store.lock_slot(slot);
+                    if g.in_use() {
+                        g.live().map(|l| (g.key().0, l.to_vec().into_boxed_slice()))
+                    } else {
+                        None
+                    }
+                };
+                self.snapshot_set(slot, current);
             }
-        })();
-        let (records, bytes) = match result {
-            Ok(rb) => rb,
+            let snapshot = self.snapshot.as_ref().expect("full variant");
+            let split = ShardPartition::over(self.store.slot_high_water(), threads);
+            capture_parts(dir, kind, id, watermark, &[], threads, |part, w, _cancel| {
+                for slot in split.range(part) {
+                    let e = snapshot[slot].lock();
+                    if let Some((k, v)) = e.as_ref() {
+                        w.write_record(Key(*k), v)?;
+                    }
+                }
+                Ok(())
+            })
+        };
+        let summary = match result {
+            Ok(s) => s,
             Err(e) => {
                 // The interval already flipped (commits now mark id + 1),
                 // so roll the failed cycle's consumed state *forward*:
@@ -387,10 +382,11 @@ impl CheckpointStrategy for FuzzyStrategy {
             id,
             kind,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce,
+            parts: summary.parts,
         })
     }
 
@@ -398,29 +394,41 @@ impl CheckpointStrategy for FuzzyStrategy {
         let start = Instant::now();
         let id = self.upcoming.fetch_add(1, Ordering::AcqRel);
         let watermark = self.log.last_seq();
-        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        for slot in self.store.slot_ids() {
-            let extracted = {
-                let g = self.store.lock_slot(slot);
-                if g.in_use() {
-                    g.live().map(|l| (g.key(), l.to_vec()))
-                } else {
-                    None
+        let threads = dir.checkpoint_threads();
+        let split = ShardPartition::over(self.store.slot_high_water(), threads);
+        let summary = capture_parts(
+            dir,
+            CheckpointKind::Full,
+            id,
+            watermark,
+            &[],
+            threads,
+            |part, w, _cancel| {
+                for slot in split.range(part) {
+                    let extracted = {
+                        let g = self.store.lock_slot(slot as SlotId);
+                        if g.in_use() {
+                            g.live().map(|l| (g.key(), l.to_vec()))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some((key, v)) = extracted {
+                        w.write_record(key, &v)?;
+                    }
                 }
-            };
-            if let Some((key, v)) = extracted {
-                pending.writer().write_record(key, &v)?;
-            }
-        }
-        let (records, bytes) = pending.publish()?;
+                Ok(())
+            },
+        )?;
         Ok(CheckpointStats {
             id,
             kind: CheckpointKind::Full,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
+            parts: summary.parts,
         })
     }
 

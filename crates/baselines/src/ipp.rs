@@ -26,6 +26,7 @@ use calc_txn::commitlog::{CommitLog, PhaseStamp};
 
 use calc_core::file::CheckpointKind;
 use calc_core::manifest::CheckpointDir;
+use calc_core::partition::{capture_parts, ShardPartition};
 use calc_core::strategy::{
     CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
     WriteRec,
@@ -220,53 +221,67 @@ impl CheckpointStrategy for IppStrategy {
             CheckpointKind::Full
         };
         let hw = self.sealed_high_water.load(Ordering::Acquire) as usize;
+        let threads = dir.checkpoint_threads();
         // pIPP only: values drained from the retired array so far. The
         // drain is destructive, so a failed cycle must re-inject them into
-        // the current array (the in-progress file is thrown away).
-        let mut consumed: Vec<(SlotId, Key, Value)> = Vec::new();
-        let result = (|| -> io::Result<(u64, u64)> {
-            let mut pending = dir.begin(kind, id, watermark)?;
-            let scan = (|| -> io::Result<()> {
-                if self.partial {
-                    for key in &tombs {
-                        pending.writer().write_tombstone(*key)?;
-                    }
-                    for slot in 0..hw as SlotId {
-                        if let Some((key, Some(v))) = self.store.consume_retired(slot, retired) {
-                            // (A `None` value is a deletion observed via the
-                            // retired copy itself: covered by the tombstone
-                            // buffer, nothing to write.)
-                            let r = pending.writer().write_record(key, &v);
-                            consumed.push((slot, key, v));
-                            r?;
-                        }
-                    }
-                } else {
-                    // Merge the retired dirty values into the snapshot, then
-                    // write the full consistent snapshot.
-                    for slot in 0..hw as SlotId {
-                        self.store.consume_retired(slot, retired);
-                    }
-                    for (key, v) in self.store.snapshot_entries() {
-                        pending.writer().write_record(key, &v)?;
+        // the current array (the in-progress files are thrown away).
+        // Shared across the capture threads; every consumed value is
+        // registered here *before* the fallible write, so the abort path
+        // below restores it even if the write that followed failed.
+        let consumed: Mutex<Vec<(SlotId, Key, Value)>> = Mutex::new(Vec::new());
+        let result = if self.partial {
+            let split = ShardPartition::over(hw, threads);
+            capture_parts(dir, kind, id, watermark, &tombs, threads, |part, w, _cancel| {
+                for slot in split.range(part) {
+                    if let Some((key, Some(v))) =
+                        self.store.consume_retired(slot as SlotId, retired)
+                    {
+                        // (A `None` value is a deletion observed via the
+                        // retired copy itself: covered by the tombstone
+                        // buffer, nothing to write.)
+                        consumed.lock().push((slot as SlotId, key, v.clone()));
+                        w.write_record(key, &v)?;
                     }
                 }
                 Ok(())
-            })();
-            match scan {
-                Ok(()) => pending.publish(),
-                Err(e) => {
-                    pending.abandon();
-                    Err(e)
+            })
+        } else {
+            // Merge the retired dirty values into the snapshot — striped
+            // over the capture threads (disjoint slot ranges, per-slot
+            // locks) — then write the full consistent snapshot.
+            let split = ShardPartition::over(hw, threads);
+            if threads == 1 {
+                for slot in 0..hw as SlotId {
+                    self.store.consume_retired(slot, retired);
                 }
+            } else {
+                std::thread::scope(|s| {
+                    for part in 0..threads {
+                        let range = split.range(part);
+                        s.spawn(move || {
+                            for slot in range {
+                                self.store.consume_retired(slot as SlotId, retired);
+                            }
+                        });
+                    }
+                });
             }
-        })();
-        let (records, bytes) = match result {
-            Ok(rb) => rb,
+            let entries = self.store.snapshot_entries();
+            let esplit = ShardPartition::over(entries.len(), threads);
+            capture_parts(dir, kind, id, watermark, &[], threads, |part, w, _cancel| {
+                for (key, v) in &entries[esplit.range(part)] {
+                    w.write_record(*key, v)?;
+                }
+                Ok(())
+            })
+        };
+        let summary = match result {
+            Ok(s) => s,
             Err(e) => {
                 // Harmless failure: the array already flipped, so finish
                 // draining the retired array, then put the failed cycle's
                 // state where the *next* cycle captures it.
+                let mut consumed = consumed.into_inner();
                 if self.partial {
                     for slot in 0..hw as SlotId {
                         if let Some((key, Some(v))) = self.store.consume_retired(slot, retired) {
@@ -293,10 +308,11 @@ impl CheckpointStrategy for IppStrategy {
             id,
             kind,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce,
+            parts: summary.parts,
         })
     }
 
@@ -307,22 +323,33 @@ impl CheckpointStrategy for IppStrategy {
         if !self.partial {
             self.store.seed_snapshot();
         }
-        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        for slot in 0..self.store.slot_high_water() as SlotId {
-            let extracted = self.store.get_by_slot(slot);
-            if let Some((key, v)) = extracted {
-                pending.writer().write_record(key, &v)?;
-            }
-        }
-        let (records, bytes) = pending.publish()?;
+        let threads = dir.checkpoint_threads();
+        let split = ShardPartition::over(self.store.slot_high_water(), threads);
+        let summary = capture_parts(
+            dir,
+            CheckpointKind::Full,
+            id,
+            watermark,
+            &[],
+            threads,
+            |part, w, _cancel| {
+                for slot in split.range(part) {
+                    if let Some((key, v)) = self.store.get_by_slot(slot as SlotId) {
+                        w.write_record(key, &v)?;
+                    }
+                }
+                Ok(())
+            },
+        )?;
         Ok(CheckpointStats {
             id,
             kind: CheckpointKind::Full,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
+            parts: summary.parts,
         })
     }
 

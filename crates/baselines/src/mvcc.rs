@@ -411,6 +411,7 @@ impl CheckpointStrategy for MvccStrategy {
             bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
+            parts: 1,
         })
     }
 
@@ -515,12 +516,7 @@ mod tests {
         s.txn_end(t);
         assert_eq!(s.version_count(), 2, "v0 reclaimed, v1+v2 remain");
 
-        let entries = calc_core::file::CheckpointReader::open(
-            &d.scan().unwrap()[0].path,
-        )
-        .unwrap()
-        .read_all()
-        .unwrap();
+        let entries = d.scan().unwrap()[0].read_all().unwrap();
         assert_eq!(
             entries,
             vec![calc_core::file::RecordEntry::Value(
@@ -648,10 +644,7 @@ mod tests {
                 model.insert(k, v);
             }
         }
-        let got = calc_core::file::CheckpointReader::open(&d.scan().unwrap()[0].path)
-            .unwrap()
-            .read_all()
-            .unwrap();
+        let got = d.scan().unwrap()[0].read_all().unwrap();
         assert_eq!(got.len(), 50);
         for e in got {
             if let calc_core::file::RecordEntry::Value(k, v) = e {

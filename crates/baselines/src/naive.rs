@@ -21,7 +21,8 @@ use calc_storage::mem::MemoryStats;
 use calc_txn::commitlog::{CommitLog, PhaseStamp};
 
 use calc_core::file::CheckpointKind;
-use calc_core::manifest::CheckpointDir;
+use calc_core::manifest::{CheckpointDir, PublishSummary};
+use calc_core::partition::{capture_parts, ShardPartition};
 use calc_core::strategy::{
     CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
     WriteRec,
@@ -72,36 +73,41 @@ impl NaiveStrategy {
         &self.store
     }
 
+    /// Full scan striped over `checkpoint_threads` capture threads (the
+    /// database is quiesced, so the only concurrency is among the scan
+    /// threads themselves, on disjoint slot ranges).
     fn write_full_scan(
         &self,
         dir: &CheckpointDir,
         id: u64,
         watermark: CommitSeq,
-    ) -> io::Result<(u64, u64)> {
-        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        let scan = (|| -> io::Result<()> {
-            for slot in self.store.slot_ids() {
-                let extracted = {
-                    let g = self.store.lock_slot(slot);
-                    if g.in_use() {
-                        g.live().map(|l| (g.key(), l.to_vec()))
-                    } else {
-                        None
+    ) -> io::Result<PublishSummary> {
+        let threads = dir.checkpoint_threads();
+        let split = ShardPartition::over(self.store.slot_high_water(), threads);
+        capture_parts(
+            dir,
+            CheckpointKind::Full,
+            id,
+            watermark,
+            &[],
+            threads,
+            |part, w, _cancel| {
+                for slot in split.range(part) {
+                    let extracted = {
+                        let g = self.store.lock_slot(slot as calc_storage::SlotId);
+                        if g.in_use() {
+                            g.live().map(|l| (g.key(), l.to_vec()))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some((key, v)) = extracted {
+                        w.write_record(key, &v)?;
                     }
-                };
-                if let Some((key, v)) = extracted {
-                    pending.writer().write_record(key, &v)?;
                 }
-            }
-            Ok(())
-        })();
-        match scan {
-            Ok(()) => pending.publish(),
-            Err(e) => {
-                pending.abandon();
-                Err(e)
-            }
-        }
+                Ok(())
+            },
+        )
     }
 }
 
@@ -259,8 +265,11 @@ impl CheckpointStrategy for NaiveStrategy {
     fn checkpoint(&self, env: &dyn EngineEnv, dir: &CheckpointDir) -> io::Result<CheckpointStats> {
         let start = Instant::now();
         let id = self.upcoming.load(Ordering::Acquire);
-        let mut records = 0;
-        let mut bytes = 0;
+        let mut summary = PublishSummary {
+            records: 0,
+            bytes: 0,
+            parts: 0,
+        };
         let mut watermark = CommitSeq::ZERO;
         // The entire checkpoint runs with the database exclusively locked.
         let quiesce = env.quiesced(&mut || {
@@ -270,13 +279,18 @@ impl CheckpointStrategy for NaiveStrategy {
                 // Drained up front so the failure path can restore them
                 // (under quiesce no commit can race the push-back).
                 let tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
-                let result = (|| -> io::Result<(u64, u64)> {
-                    let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
-                    let scan = (|| -> io::Result<()> {
-                        for key in &tombs {
-                            pending.writer().write_tombstone(*key)?;
-                        }
-                        for slot in tracker.dirty_slots(id, self.store.slot_high_water()) {
+                let threads = dir.checkpoint_threads();
+                let dirty = tracker.dirty_slots(id, self.store.slot_high_water());
+                let split = ShardPartition::over(dirty.len(), threads);
+                let result = capture_parts(
+                    dir,
+                    CheckpointKind::Partial,
+                    id,
+                    watermark,
+                    &tombs,
+                    threads,
+                    |part, w, _cancel| {
+                        for &slot in &dirty[split.range(part)] {
                             let extracted = {
                                 let g = self.store.lock_slot(slot);
                                 if g.in_use() {
@@ -286,23 +300,15 @@ impl CheckpointStrategy for NaiveStrategy {
                                 }
                             };
                             if let Some((key, v)) = extracted {
-                                pending.writer().write_record(key, &v)?;
+                                w.write_record(key, &v)?;
                             }
                         }
                         Ok(())
-                    })();
-                    match scan {
-                        Ok(()) => pending.publish(),
-                        Err(e) => {
-                            pending.abandon();
-                            Err(e)
-                        }
-                    }
-                })();
+                    },
+                );
                 match result {
-                    Ok((r, b)) => {
-                        records = r;
-                        bytes = b;
+                    Ok(s) => {
+                        summary = s;
                         tracker.clear(id);
                     }
                     Err(e) => {
@@ -316,12 +322,10 @@ impl CheckpointStrategy for NaiveStrategy {
                     }
                 }
             } else {
-                let (r, b) = self.write_full_scan(dir, id, watermark).inspect_err(|_| {
+                summary = self.write_full_scan(dir, id, watermark).inspect_err(|_| {
                     // Nothing was consumed; the retry is a fresh scan.
                     self.aborted.fetch_add(1, Ordering::Relaxed);
                 })?;
-                records = r;
-                bytes = b;
             }
             self.upcoming.fetch_add(1, Ordering::Release);
             Ok(())
@@ -334,10 +338,11 @@ impl CheckpointStrategy for NaiveStrategy {
                 CheckpointKind::Full
             },
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce,
+            parts: summary.parts,
         })
     }
 
@@ -345,15 +350,16 @@ impl CheckpointStrategy for NaiveStrategy {
         let start = Instant::now();
         let id = self.upcoming.fetch_add(1, Ordering::AcqRel);
         let watermark = self.log.last_seq();
-        let (records, bytes) = self.write_full_scan(dir, id, watermark)?;
+        let summary = self.write_full_scan(dir, id, watermark)?;
         Ok(CheckpointStats {
             id,
             kind: CheckpointKind::Full,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce: Duration::ZERO,
+            parts: summary.parts,
         })
     }
 

@@ -26,6 +26,7 @@ use calc_txn::commitlog::{CommitLog, PhaseStamp};
 
 use calc_core::file::CheckpointKind;
 use calc_core::manifest::CheckpointDir;
+use calc_core::partition::{self, capture_parts, ShardPartition, CANCEL_POLL_STRIDE};
 use calc_core::strategy::{
     CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
     WriteRec,
@@ -259,37 +260,36 @@ impl CheckpointStrategy for ZigzagStrategy {
         } else {
             Vec::new()
         };
-        let result = (|| -> io::Result<(u64, u64)> {
-            let mut pending = dir.begin(kind, id, watermark)?;
-            let scan = (|| -> io::Result<()> {
-                if self.partial {
-                    for key in &tombs {
-                        pending.writer().write_tombstone(*key)?;
+        let threads = dir.checkpoint_threads();
+        let result = if self.partial {
+            let split = ShardPartition::over(dirty.len(), threads);
+            capture_parts(dir, kind, id, watermark, &tombs, threads, |part, w, cancel| {
+                for (i, &slot) in dirty[split.range(part)].iter().enumerate() {
+                    if i % CANCEL_POLL_STRIDE == 0 && cancel.load(Ordering::Relaxed) {
+                        return Err(partition::cancelled());
                     }
-                    for &slot in &dirty {
-                        if let Some((key, v)) = self.store.checkpoint_copy(slot) {
-                            pending.writer().write_record(key, &v)?;
-                        }
-                    }
-                } else {
-                    for slot in 0..hw as SlotId {
-                        if let Some((key, v)) = self.store.checkpoint_copy(slot) {
-                            pending.writer().write_record(key, &v)?;
-                        }
+                    if let Some((key, v)) = self.store.checkpoint_copy(slot) {
+                        w.write_record(key, &v)?;
                     }
                 }
                 Ok(())
-            })();
-            match scan {
-                Ok(()) => pending.publish(),
-                Err(e) => {
-                    pending.abandon();
-                    Err(e)
+            })
+        } else {
+            let split = ShardPartition::over(hw, threads);
+            capture_parts(dir, kind, id, watermark, &[], threads, |part, w, cancel| {
+                for (i, slot) in split.range(part).enumerate() {
+                    if i % CANCEL_POLL_STRIDE == 0 && cancel.load(Ordering::Relaxed) {
+                        return Err(partition::cancelled());
+                    }
+                    if let Some((key, v)) = self.store.checkpoint_copy(slot as SlotId) {
+                        w.write_record(key, &v)?;
+                    }
                 }
-            }
-        })();
-        let (records, bytes) = match result {
-            Ok(rb) => rb,
+                Ok(())
+            })
+        };
+        let summary = match result {
+            Ok(s) => s,
             Err(e) => {
                 // Harmless failure: checkpoint_copy never mutates, so the
                 // committed values still live in the store — re-marking
@@ -324,10 +324,11 @@ impl CheckpointStrategy for ZigzagStrategy {
             id,
             kind,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce,
+            parts: summary.parts,
         })
     }
 
@@ -335,24 +336,36 @@ impl CheckpointStrategy for ZigzagStrategy {
         let start = Instant::now();
         let id = self.upcoming.fetch_add(1, Ordering::AcqRel);
         let watermark = self.log.last_seq();
-        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        for slot in 0..self.store.slot_high_water() as SlotId {
-            // At load time the read copy is the authoritative one; there
-            // is no concurrent writer, so reading via get() by key is
-            // equivalent — but go slot-wise for a single pass.
-            if let Some((key, v)) = self.store.checkpoint_copy(slot) {
-                pending.writer().write_record(key, &v)?;
-            }
-        }
-        let (records, bytes) = pending.publish()?;
+        let threads = dir.checkpoint_threads();
+        let split = ShardPartition::over(self.store.slot_high_water(), threads);
+        let summary = capture_parts(
+            dir,
+            CheckpointKind::Full,
+            id,
+            watermark,
+            &[],
+            threads,
+            |part, w, _cancel| {
+                // At load time the read copy is the authoritative one; there
+                // is no concurrent writer, so reading via get() by key is
+                // equivalent — but go slot-wise for a single pass.
+                for slot in split.range(part) {
+                    if let Some((key, v)) = self.store.checkpoint_copy(slot as SlotId) {
+                        w.write_record(key, &v)?;
+                    }
+                }
+                Ok(())
+            },
+        )?;
         Ok(CheckpointStats {
             id,
             kind: CheckpointKind::Full,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
+            parts: summary.parts,
         })
     }
 

@@ -20,7 +20,7 @@ use parking_lot::RwLock;
 use calc_baselines::{FuzzyStrategy, IppStrategy, NaiveStrategy, ZigzagStrategy};
 use calc_common::rng::SplitMix;
 use calc_common::types::{CommitSeq, Key, TxnId, Value};
-use calc_core::file::{CheckpointKind, CheckpointReader};
+use calc_core::file::CheckpointKind;
 use calc_core::manifest::CheckpointDir;
 use calc_core::merge::{apply_entry, materialize_chain};
 use calc_core::strategy::{CheckpointStrategy, EngineEnv, UndoImage, UndoRec};
@@ -262,7 +262,7 @@ fn stress(
         } else {
             for meta in &metas {
                 let mut got = BTreeMap::new();
-                for e in CheckpointReader::open(&meta.path).unwrap().read_all().unwrap() {
+                for e in meta.read_all().unwrap() {
                     apply_entry(&mut got, e);
                 }
                 let expected = state_at(&h, meta.watermark);
@@ -283,7 +283,7 @@ fn stress(
             ever.entry(*k).or_default().extend(set.iter().cloned());
         }
         for meta in &metas {
-            for e in CheckpointReader::open(&meta.path).unwrap().read_all().unwrap() {
+            for e in meta.read_all().unwrap() {
                 if let calc_core::file::RecordEntry::Value(k, v) = e {
                     assert!(
                         ever.get(&k).is_some_and(|set| set.contains(&v.to_vec())),

@@ -1,0 +1,259 @@
+//! Shard-parallel checkpoint pipeline benchmark (ISSUE 5 satellite).
+//!
+//! Emits `BENCH_pipeline.json` with three sections so subsequent PRs
+//! have a wall-clock trajectory:
+//!
+//! 1. **capture/recovery at scale** — a ≥500k-record CALC store is
+//!    checkpointed and recovered at `checkpoint_threads` = 1 and 4,
+//!    timing the full-cycle capture wall-time and the recovery phase
+//!    breakdown ([`calc_recovery::replay::RecoveryStats`]).
+//! 2. **throughput during checkpointing** — a closed-loop micro run with
+//!    checkpoints firing mid-run, serial vs. parallel capture.
+//! 3. **per-strategy smoke** — a small fixed-duration micro run for each
+//!    of the ten checkpointing strategies: throughput, mean checkpoint
+//!    cycle duration, parts per cycle.
+//!
+//! Environment knobs: `BENCH_OUT` (output path, default
+//! `BENCH_pipeline.json`), `BENCH_RECORDS` (default 500_000),
+//! `BENCH_SMOKE_MS` (per-strategy run length, default 1200).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use calc_bench::runner::{self, RunSpec, WorkloadSpec};
+use calc_core::calc::CalcStrategy;
+use calc_core::manifest::CheckpointDir;
+use calc_core::strategy::{CheckpointStrategy, NoopEnv};
+use calc_core::throttle::Throttle;
+use calc_engine::StrategyKind;
+use calc_recovery::replay::recover_checkpoint_only;
+use calc_storage::dual::StoreConfig;
+use calc_txn::commitlog::CommitLog;
+use calc_workload::micro::MicroConfig;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// One capture + recovery measurement at a fixed thread count.
+struct PipelinePoint {
+    threads: usize,
+    capture: Duration,
+    parts: usize,
+    records: u64,
+    recovery_total: Duration,
+    part_load: Duration,
+    merge: Duration,
+    recovery_threads: usize,
+}
+
+/// Checkpoints and recovers a `records`-record CALC store with `threads`
+/// capture/load threads, returning wall-times. The store is built once
+/// by the caller; each call gets its own checkpoint directory.
+fn capture_and_recover(
+    strategy: &CalcStrategy,
+    root: &std::path::Path,
+    records: u64,
+    threads: usize,
+) -> PipelinePoint {
+    let dir = CheckpointDir::open(
+        &root.join(format!("threads-{threads}")),
+        Arc::new(Throttle::unlimited()),
+    )
+    .expect("open bench dir");
+    dir.set_checkpoint_threads(threads);
+
+    // Warm-up cycle (first touch pays page-in), then the measured cycle.
+    strategy
+        .checkpoint(&NoopEnv, &dir)
+        .expect("warm-up checkpoint");
+    let start = Instant::now();
+    let stats = strategy
+        .checkpoint(&NoopEnv, &dir)
+        .expect("measured checkpoint");
+    let capture = start.elapsed();
+    assert!(
+        stats.records >= records,
+        "capture missed records: {} < {records}",
+        stats.records
+    );
+
+    let fresh = CalcStrategy::full(
+        StoreConfig::for_records(records as usize + records as usize / 4 + 1024, 64),
+        Arc::new(CommitLog::new(false)),
+    );
+    let start = Instant::now();
+    let outcome = recover_checkpoint_only(&dir, &fresh).expect("recover");
+    let recovery_total = start.elapsed();
+    assert_eq!(outcome.loaded_records, records, "recovery missed records");
+
+    PipelinePoint {
+        threads,
+        capture,
+        parts: stats.parts,
+        records: stats.records,
+        recovery_total,
+        part_load: outcome.stats.part_load,
+        merge: outcome.stats.merge,
+        recovery_threads: outcome.stats.threads,
+    }
+}
+
+fn micro(db_size: u64) -> WorkloadSpec {
+    WorkloadSpec::Micro(MicroConfig {
+        db_size,
+        record_size: 100,
+        ops_per_txn: 10,
+        txn_spin: 8,
+        long_txn_prob: 0.0,
+        long_txn_spin: 1000,
+        long_txn_batch: 50,
+        hot_fraction: 1.0,
+    })
+}
+
+/// Mean checkpoint-cycle wall-time of a run, in milliseconds.
+fn mean_ckpt_ms(result: &runner::RunResult) -> f64 {
+    if result.checkpoints.is_empty() {
+        return 0.0;
+    }
+    let total: Duration = result.checkpoints.iter().map(|s| s.duration).sum();
+    total.as_secs_f64() * 1e3 / result.checkpoints.len() as f64
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let out_path = PathBuf::from(
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into()),
+    );
+    let records = env_u64("BENCH_RECORDS", 500_000);
+    let smoke_ms = env_u64("BENCH_SMOKE_MS", 1200);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let root = std::env::temp_dir().join(format!("calc-bench-pipeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create bench root");
+
+    // ---- Section 1: capture + recovery at scale, threads 1 vs 4.
+    eprintln!("pipeline: loading {records} records…");
+    let strategy = CalcStrategy::full(
+        StoreConfig::for_records(records as usize + records as usize / 4 + 1024, 64),
+        Arc::new(CommitLog::new(false)),
+    );
+    let payload = [0u8; 64];
+    for k in 0..records {
+        strategy
+            .load_initial(calc_common::types::Key(k), &payload)
+            .expect("load");
+    }
+    let mut points = Vec::new();
+    for threads in [1usize, 4] {
+        eprintln!("pipeline: capture+recover at checkpoint_threads={threads}…");
+        points.push(capture_and_recover(&strategy, &root, records, threads));
+    }
+
+    // ---- Section 2: throughput during checkpointing, serial vs parallel.
+    let mut tps_points = Vec::new();
+    for threads in [1usize, 4] {
+        eprintln!("pipeline: closed-loop CALC run at checkpoint_threads={threads}…");
+        let mut spec = RunSpec::quick(StrategyKind::Calc, micro(100_000));
+        spec.duration = Duration::from_millis(3 * smoke_ms);
+        spec.checkpoint_at = vec![
+            Duration::from_millis(smoke_ms / 2),
+            Duration::from_millis(smoke_ms / 2 + smoke_ms),
+            Duration::from_millis(smoke_ms / 2 + 2 * smoke_ms),
+        ];
+        spec.workers = cores.max(1);
+        spec.feeders = 1;
+        spec.disk_bytes_per_sec = 0;
+        spec.checkpoint_threads = Some(threads);
+        spec.dir_root = root.clone();
+        let result = runner::run(&spec);
+        assert_eq!(
+            result.checkpoint_failures, 0,
+            "checkpoint failed during throughput run"
+        );
+        tps_points.push((
+            threads,
+            result.mean_tps(spec.duration),
+            mean_ckpt_ms(&result),
+            result.checkpoints.iter().map(|s| s.parts).max().unwrap_or(0),
+        ));
+    }
+
+    // ---- Section 3: per-strategy smoke runs.
+    let mut smoke = Vec::new();
+    for kind in StrategyKind::ALL_CHECKPOINTING {
+        eprintln!("pipeline: smoke run {kind}…");
+        let mut spec = RunSpec::quick(kind, micro(20_000));
+        spec.duration = Duration::from_millis(smoke_ms);
+        spec.checkpoint_at = vec![Duration::from_millis(smoke_ms / 3)];
+        spec.workers = cores.max(1);
+        spec.feeders = 1;
+        spec.disk_bytes_per_sec = 0;
+        spec.dir_root = root.clone();
+        let result = runner::run(&spec);
+        smoke.push((
+            kind.name().to_string(),
+            result.mean_tps(spec.duration),
+            mean_ckpt_ms(&result),
+            result.checkpoints.iter().map(|s| s.parts).max().unwrap_or(0),
+            result.checkpoint_failures,
+        ));
+    }
+
+    // ---- Emit JSON (hand-rolled; every value is a number or plain name).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"meta\": {{\"cores\": {cores}, \"records\": {records}, \"record_size\": 64}},\n"
+    ));
+    json.push_str("  \"capture_recovery\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"capture_ms\": {:.3}, \"parts\": {}, \"records\": {}, \
+             \"recovery_ms\": {:.3}, \"part_load_ms\": {:.3}, \"merge_ms\": {:.3}, \
+             \"recovery_threads\": {}}}{}\n",
+            p.threads,
+            ms(p.capture),
+            p.parts,
+            p.records,
+            ms(p.recovery_total),
+            ms(p.part_load),
+            ms(p.merge),
+            p.recovery_threads,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"throughput_during_checkpoint\": [\n");
+    for (i, (threads, tps, ckpt_ms, parts)) in tps_points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"tps\": {tps:.1}, \"ckpt_cycle_ms\": {ckpt_ms:.3}, \
+             \"parts\": {parts}}}{}\n",
+            if i + 1 < tps_points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"strategies\": [\n");
+    for (i, (name, tps, ckpt_ms, parts, failures)) in smoke.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kind\": \"{name}\", \"tps\": {tps:.1}, \"ckpt_cycle_ms\": {ckpt_ms:.3}, \
+             \"parts\": {parts}, \"ckpt_failures\": {failures}}}{}\n",
+            if i + 1 < smoke.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    eprintln!("pipeline: wrote {}", out_path.display());
+    println!("{json}");
+    let _ = std::fs::remove_dir_all(&root);
+}

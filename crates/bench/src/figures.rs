@@ -98,6 +98,7 @@ impl FigureOpts {
             feeders: self.feeders,
             load: LoadMode::Closed,
             disk_bytes_per_sec: self.disk_mbps * 1024 * 1024,
+            checkpoint_threads: None,
             sample_every: Duration::from_millis((self.seconds * 10.0).clamp(20.0, 500.0) as u64),
             seed: self.seed,
             dir_root: std::env::temp_dir().join("calc-figures"),
@@ -551,17 +552,41 @@ pub fn fig4b(opts: &FigureOpts) {
                         std::sync::Arc::new(calc_core::throttle::Throttle::unlimited()),
                     )
                     .expect("open drill dir");
-                    std::fs::copy(
-                        &full.path,
-                        drill_root.join(full.path.file_name().unwrap()),
-                    )
-                    .expect("copy full");
+                    // Re-publish the entries through the drill dir (the
+                    // run's checkpoints are manifest + part files, so a
+                    // plain file copy can't clone a cycle). The timing
+                    // below covers materialization only.
+                    let republish = |kind, id, watermark, entries: &[calc_core::file::RecordEntry]| {
+                        let (pending, mut writers) = drill
+                            .begin_parts(kind, id, watermark, 1)
+                            .expect("begin drill cycle");
+                        for e in entries {
+                            match e {
+                                calc_core::file::RecordEntry::Value(k, v) => {
+                                    writers[0].write_record(*k, v).expect("drill record")
+                                }
+                                calc_core::file::RecordEntry::Tombstone(k) => {
+                                    writers[0].write_tombstone(*k).expect("drill tombstone")
+                                }
+                            }
+                        }
+                        pending.publish(writers).expect("publish drill cycle");
+                    };
+                    let full_entries = full.read_all().expect("read full");
+                    let part_entries = part.read_all().expect("read partial");
+                    republish(
+                        calc_core::file::CheckpointKind::Full,
+                        0,
+                        full.watermark,
+                        &full_entries,
+                    );
                     for i in 0..batch {
-                        std::fs::copy(
-                            &part.path,
-                            drill_root.join(format!("ckpt-d{i:09}-part.calc")),
-                        )
-                        .expect("copy partial");
+                        republish(
+                            calc_core::file::CheckpointKind::Partial,
+                            1 + i as u64,
+                            part.watermark,
+                            &part_entries,
+                        );
                     }
                     let (dfull, dparts) = drill
                         .recovery_chain()

@@ -75,6 +75,9 @@ pub struct RunSpec {
     pub load: LoadMode,
     /// Simulated disk bandwidth (0 = unlimited).
     pub disk_bytes_per_sec: u64,
+    /// Capture threads / part files per checkpoint cycle. `None` keeps
+    /// the engine default (`min(store shards, cores)`).
+    pub checkpoint_threads: Option<usize>,
     /// Timeline sampling interval.
     pub sample_every: Duration,
     /// Workload seed.
@@ -99,6 +102,7 @@ impl RunSpec {
             feeders: 2,
             load: LoadMode::Closed,
             disk_bytes_per_sec: 150 * 1024 * 1024,
+            checkpoint_threads: None,
             sample_every: Duration::from_millis(100),
             seed: 42,
             dir_root: std::env::temp_dir().join("calc-bench"),
@@ -173,6 +177,9 @@ pub fn run(spec: &RunSpec) -> RunResult {
     ec.workers = spec.workers;
     ec.disk_bytes_per_sec = spec.disk_bytes_per_sec;
     ec.merge_batch = spec.merge_batch;
+    if let Some(threads) = spec.checkpoint_threads {
+        ec.checkpoint_threads = threads;
+    }
     ec.queue_capacity = match spec.load {
         LoadMode::Closed => Some(spec.workers * 64),
         LoadMode::Open { .. } => None,

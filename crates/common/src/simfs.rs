@@ -193,7 +193,7 @@ pub struct SimVfs {
 const CRASH_SALT: u64 = 0x51b7_a5ed_c845_0f1d;
 
 fn crash_err() -> io::Error {
-    io::Error::new(io::ErrorKind::Other, "simulated crash")
+    io::Error::other("simulated crash")
 }
 
 fn parent_of(path: &Path) -> PathBuf {
@@ -798,7 +798,7 @@ mod tests {
                 let tmp = p(&format!("/d/.t{i}"));
                 let fin = p(&format!("/d/f{i}"));
                 let mut f = vfs.create(&tmp).unwrap();
-                f.write_all(&vec![i as u8; 64]).unwrap();
+                f.write_all(&[i as u8; 64]).unwrap();
                 if i % 2 == 0 {
                     f.sync().unwrap();
                 }

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use calc_common::types::{CommitSeq, Value};
-use calc_core::file::{CheckpointKind, CheckpointReader, RecordEntry};
+use calc_core::file::{CheckpointKind, RecordEntry};
 use calc_core::manifest::CheckpointMeta;
 use calc_engine::recorder::{RecordedHistory, RecordedOp, RecordedTxn};
 use calc_txn::proc::ProcId;
@@ -241,8 +241,8 @@ fn verify_checkpoint(
     check_state: bool,
     report: &mut ConformReport,
 ) -> Result<(), Violation> {
-    let entries = CheckpointReader::open(&meta.path)
-        .and_then(|r| r.read_all())
+    let entries = meta
+        .read_all()
         .map_err(|e| violation(format!("checkpoint id {} unreadable: {e}", meta.id)))?;
     match meta.kind {
         CheckpointKind::Full => {

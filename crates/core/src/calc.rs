@@ -54,7 +54,8 @@ use calc_storage::mem::MemoryStats;
 use calc_txn::commitlog::{CommitLog, PhaseStamp};
 
 use crate::file::CheckpointKind;
-use crate::manifest::CheckpointDir;
+use crate::manifest::{CheckpointDir, PublishSummary};
+use crate::partition::{self, capture_parts, ShardPartition, CANCEL_POLL_STRIDE};
 use crate::phase::PhaseController;
 use crate::strategy::{
     CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,
@@ -182,105 +183,127 @@ impl CalcStrategy {
         let start = Instant::now();
         let id = self.phases.log().current_stamp().cycle;
         let watermark = self.phases.log().last_seq();
-        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        for slot in self.store.slot_ids() {
-            let extracted = {
-                let g = self.store.lock_slot(slot);
-                if g.in_use() {
-                    g.live().map(|l| (g.key(), l.to_vec()))
-                } else {
-                    None
+        let threads = dir.checkpoint_threads();
+        let split = ShardPartition::over(self.store.slot_high_water(), threads);
+        let summary = capture_parts(
+            dir,
+            CheckpointKind::Full,
+            id,
+            watermark,
+            &[],
+            threads,
+            |k, w, _cancel| {
+                for slot in split.range(k) {
+                    let extracted = {
+                        let g = self.store.lock_slot(slot as calc_storage::SlotId);
+                        if g.in_use() {
+                            g.live().map(|l| (g.key(), l.to_vec()))
+                        } else {
+                            None
+                        }
+                    };
+                    if let Some((key, v)) = extracted {
+                        w.write_record(key, &v)?;
+                    }
                 }
-            };
-            if let Some((key, v)) = extracted {
-                pending.writer().write_record(key, &v)?;
-            }
-        }
-        let (records, bytes) = pending.publish()?;
+                Ok(())
+            },
+        )?;
         // Rest→Rest transition: no phase change, cycle += 1.
         self.phases.transition(Phase::Rest);
         Ok(CheckpointStats {
             id,
             kind: CheckpointKind::Full,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
+            parts: summary.parts,
         })
     }
 
-    /// The fallible disk portion of a full cycle: begin → scan → publish.
-    /// On `Err` the temp file has been abandoned; store/phase restore is
-    /// the caller's job ([`CalcStrategy::abort_cycle_full`]).
+    /// The fallible disk portion of a full cycle: begin N parts → striped
+    /// scan from `checkpoint_threads` capture threads → publish the
+    /// manifest. On `Err` every part file has been removed and nothing
+    /// became visible; store/phase restore is the caller's job
+    /// ([`CalcStrategy::abort_cycle_full`]). The slot-space stripes are
+    /// disjoint, so the capture threads never contend on a slot guard —
+    /// only on the shared status bit vector, which is per-slot atomic.
     fn capture_full(
         &self,
         dir: &CheckpointDir,
         id: u64,
         watermark: CommitSeq,
-    ) -> io::Result<(u64, u64)> {
+    ) -> io::Result<PublishSummary> {
         let status = self.store.stable_status();
-        let mut pending = dir.begin(CheckpointKind::Full, id, watermark)?;
-        let scan = (|| -> io::Result<()> {
-            for slot in self.store.slot_ids() {
-                let extracted = {
-                    let mut g = self.store.lock_slot(slot);
-                    if !g.in_use() {
-                        // Normalize vacant slots so the polarity swap leaves
-                        // every bit reading not-available.
-                        status.mark(slot as usize);
-                        None
-                    } else if status.is_marked(slot as usize) {
-                        // Post-point writers (or the resolve-commit hook)
-                        // preserved an explicit stable version; an available
-                        // bit without one is a record inserted after the point
-                        // of consistency — excluded.
-                        if g.has_stable() {
-                            let key = g.key();
-                            let v = g.stable().expect("checked").to_vec();
-                            g.erase_stable();
-                            if g.live().is_none() {
-                                // Deleted after the point: captured, now gone.
-                                g.release_if_vacant();
-                            }
-                            Some((key, v))
-                        } else {
-                            None
-                        }
-                    } else {
-                        status.mark(slot as usize);
-                        let key = g.key();
-                        if g.has_stable() {
-                            let v = g.stable().expect("checked").to_vec();
-                            g.erase_stable();
-                            if g.live().is_none() {
-                                g.release_if_vacant();
-                            }
-                            Some((key, v))
-                        } else if let Some(live) = g.live() {
-                            Some((key, live.to_vec()))
-                        } else {
-                            // Unreachable in the protocol (a record with no
-                            // versions is released at delete-commit), but stay
-                            // defensive.
-                            g.release_if_vacant();
-                            None
-                        }
+        let threads = dir.checkpoint_threads();
+        let split = ShardPartition::over(self.store.slot_high_water(), threads);
+        capture_parts(
+            dir,
+            CheckpointKind::Full,
+            id,
+            watermark,
+            &[],
+            threads,
+            |part, w, cancel| {
+                for (i, slot) in split.range(part).enumerate() {
+                    if i % CANCEL_POLL_STRIDE == 0 && cancel.load(Ordering::Relaxed) {
+                        return Err(partition::cancelled());
                     }
-                };
-                if let Some((key, v)) = extracted {
-                    pending.writer().write_record(key, &v)?;
+                    let slot = slot as calc_storage::SlotId;
+                    let extracted = {
+                        let mut g = self.store.lock_slot(slot);
+                        if !g.in_use() {
+                            // Normalize vacant slots so the polarity swap leaves
+                            // every bit reading not-available.
+                            status.mark(slot as usize);
+                            None
+                        } else if status.is_marked(slot as usize) {
+                            // Post-point writers (or the resolve-commit hook)
+                            // preserved an explicit stable version; an available
+                            // bit without one is a record inserted after the point
+                            // of consistency — excluded.
+                            if g.has_stable() {
+                                let key = g.key();
+                                let v = g.stable().expect("checked").to_vec();
+                                g.erase_stable();
+                                if g.live().is_none() {
+                                    // Deleted after the point: captured, now gone.
+                                    g.release_if_vacant();
+                                }
+                                Some((key, v))
+                            } else {
+                                None
+                            }
+                        } else {
+                            status.mark(slot as usize);
+                            let key = g.key();
+                            if g.has_stable() {
+                                let v = g.stable().expect("checked").to_vec();
+                                g.erase_stable();
+                                if g.live().is_none() {
+                                    g.release_if_vacant();
+                                }
+                                Some((key, v))
+                            } else if let Some(live) = g.live() {
+                                Some((key, live.to_vec()))
+                            } else {
+                                // Unreachable in the protocol (a record with no
+                                // versions is released at delete-commit), but stay
+                                // defensive.
+                                g.release_if_vacant();
+                                None
+                            }
+                        }
+                    };
+                    if let Some((key, v)) = extracted {
+                        w.write_record(key, &v)?;
+                    }
                 }
-            }
-            Ok(())
-        })();
-        match scan {
-            Ok(()) => pending.publish(),
-            Err(e) => {
-                pending.abandon();
-                Err(e)
-            }
-        }
+                Ok(())
+            },
+        )
     }
 
     /// Harmless-failure restore for a full cycle that died during capture
@@ -327,8 +350,8 @@ impl CalcStrategy {
         self.phases.transition(Phase::Capture);
 
         let status = self.store.stable_status();
-        let (records, bytes) = match self.capture_full(dir, id, watermark) {
-            Ok(rb) => rb,
+        let summary = match self.capture_full(dir, id, watermark) {
+            Ok(s) => s,
             Err(e) => {
                 self.abort_cycle_full();
                 return Err(e);
@@ -347,16 +370,19 @@ impl CalcStrategy {
             id,
             kind: CheckpointKind::Full,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
+            parts: summary.parts,
         })
     }
 
-    /// The fallible disk portion of a partial cycle: begin → tombstones →
-    /// dirty scan → publish. On `Err` the temp file has been abandoned;
-    /// side-state restore is [`CalcStrategy::abort_cycle_partial`].
+    /// The fallible disk portion of a partial cycle: begin N parts →
+    /// tombstones into part 0 → dirty list striped over the capture
+    /// threads → publish the manifest. On `Err` every part file has been
+    /// removed; side-state restore is
+    /// [`CalcStrategy::abort_cycle_partial`].
     fn capture_partial(
         &self,
         dir: &CheckpointDir,
@@ -364,59 +390,63 @@ impl CalcStrategy {
         watermark: CommitSeq,
         tombs: &[Key],
         high_water: usize,
-    ) -> io::Result<(u64, u64)> {
+    ) -> io::Result<PublishSummary> {
         let tracker = self.tracker.as_ref().expect("partial mode has a tracker");
         let status = self.store.stable_status();
-        let mut pending = dir.begin(CheckpointKind::Partial, id, watermark)?;
-        let scan = (|| -> io::Result<()> {
-            // Tombstones first: within one partial checkpoint a tombstone
-            // must precede any same-key re-insertion so sequential merge
-            // replay is last-event-wins.
-            for key in tombs {
-                pending.writer().write_tombstone(*key)?;
-            }
-            for slot in tracker.dirty_slots(id, high_water) {
-                let extracted = {
-                    let mut g = self.store.lock_slot(slot);
-                    if !g.in_use() {
-                        // Freed by a pre-point delete; its tombstone is
-                        // already in the file.
-                        None
-                    } else if status.is_marked(slot as usize) {
-                        if g.has_stable() {
-                            let key = g.key();
-                            let v = g.stable().expect("checked").to_vec();
-                            g.erase_stable();
-                            // No polarity swap in pCALC: reset explicitly.
-                            status.unmark(slot as usize);
-                            if g.live().is_none() {
-                                g.release_if_vacant();
-                            }
-                            Some((key, v))
-                        } else {
-                            // Insert-after-point (possibly on a reused slot):
-                            // belongs to the next checkpoint; leave its bit.
-                            None
-                        }
-                    } else {
-                        // Dirty but never written after the point: live IS the
-                        // point-of-consistency value.
-                        g.live().map(|l| (g.key(), l.to_vec()))
+        let threads = dir.checkpoint_threads();
+        let dirty = tracker.dirty_slots(id, high_water);
+        let split = ShardPartition::over(dirty.len(), threads);
+        // Tombstones land in part 0 ahead of every value (capture_parts'
+        // contract): within one partial checkpoint a tombstone must
+        // precede any same-key re-insertion so merge replay, which walks
+        // parts in index order, stays last-event-wins.
+        capture_parts(
+            dir,
+            CheckpointKind::Partial,
+            id,
+            watermark,
+            tombs,
+            threads,
+            |part, w, cancel| {
+                for (i, &slot) in dirty[split.range(part)].iter().enumerate() {
+                    if i % CANCEL_POLL_STRIDE == 0 && cancel.load(Ordering::Relaxed) {
+                        return Err(partition::cancelled());
                     }
-                };
-                if let Some((key, v)) = extracted {
-                    pending.writer().write_record(key, &v)?;
+                    let extracted = {
+                        let mut g = self.store.lock_slot(slot);
+                        if !g.in_use() {
+                            // Freed by a pre-point delete; its tombstone is
+                            // already in the file.
+                            None
+                        } else if status.is_marked(slot as usize) {
+                            if g.has_stable() {
+                                let key = g.key();
+                                let v = g.stable().expect("checked").to_vec();
+                                g.erase_stable();
+                                // No polarity swap in pCALC: reset explicitly.
+                                status.unmark(slot as usize);
+                                if g.live().is_none() {
+                                    g.release_if_vacant();
+                                }
+                                Some((key, v))
+                            } else {
+                                // Insert-after-point (possibly on a reused slot):
+                                // belongs to the next checkpoint; leave its bit.
+                                None
+                            }
+                        } else {
+                            // Dirty but never written after the point: live IS the
+                            // point-of-consistency value.
+                            g.live().map(|l| (g.key(), l.to_vec()))
+                        }
+                    };
+                    if let Some((key, v)) = extracted {
+                        w.write_record(key, &v)?;
+                    }
                 }
-            }
-            Ok(())
-        })();
-        match scan {
-            Ok(()) => pending.publish(),
-            Err(e) => {
-                pending.abandon();
-                Err(e)
-            }
-        }
+                Ok(())
+            },
+        )
     }
 
     /// Harmless-failure restore for a partial cycle that died during
@@ -473,8 +503,8 @@ impl CalcStrategy {
         // (even in `begin`).
         let tombs = std::mem::take(&mut *self.tombstones[(id & 1) as usize].lock());
         let high_water = self.store.slot_high_water();
-        let (records, bytes) = match self.capture_partial(dir, id, watermark, &tombs, high_water) {
-            Ok(rb) => rb,
+        let summary = match self.capture_partial(dir, id, watermark, &tombs, high_water) {
+            Ok(s) => s,
             Err(e) => {
                 self.abort_cycle_partial(id, tombs, high_water);
                 return Err(e);
@@ -505,10 +535,11 @@ impl CalcStrategy {
             id,
             kind: CheckpointKind::Partial,
             watermark,
-            records,
-            bytes,
+            records: summary.records,
+            bytes: summary.bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
+            parts: summary.parts,
         })
     }
 }

@@ -48,14 +48,14 @@ pub enum CheckpointKind {
 }
 
 impl CheckpointKind {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         match self {
             CheckpointKind::Full => 0,
             CheckpointKind::Partial => 1,
         }
     }
 
-    fn from_byte(b: u8) -> io::Result<Self> {
+    pub(crate) fn from_byte(b: u8) -> io::Result<Self> {
         match b {
             0 => Ok(CheckpointKind::Full),
             1 => Ok(CheckpointKind::Partial),
@@ -200,8 +200,10 @@ impl CheckpointWriter {
         self.bytes
     }
 
-    /// Seals the footer, flushes, and fsyncs. Returns `(records, bytes)`.
-    pub fn finish(mut self) -> io::Result<(u64, u64)> {
+    /// Seals the footer, flushes, and fsyncs. Returns the file's
+    /// [`PartSummary`] (record count, byte size, and the record-stream
+    /// CRC that doubles as the file's digest in multi-part manifests).
+    pub fn finish(mut self) -> io::Result<PartSummary> {
         let crc = self.crc.finish();
         let mut footer = Vec::with_capacity(FOOTER_LEN);
         footer.extend_from_slice(FOOTER_MAGIC);
@@ -214,13 +216,31 @@ impl CheckpointWriter {
         self.pending_charge = 0;
         self.out.sync()?;
         self.finished = true;
-        Ok((self.count, self.bytes))
+        Ok(PartSummary {
+            records: self.count,
+            bytes: self.bytes,
+            crc,
+        })
     }
 
     /// The file path being written.
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// What [`CheckpointWriter::finish`] sealed: the file's record count,
+/// total bytes (header + records + footer), and record-stream CRC. The
+/// CRC is the same value stored in the file's own footer, so a manifest
+/// can record it as the part's digest without re-reading the file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartSummary {
+    /// Records + tombstones written.
+    pub records: u64,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// CRC32 over the record stream (the footer CRC).
+    pub crc: u32,
 }
 
 /// Validated metadata from a checkpoint file's header + footer.
@@ -318,6 +338,13 @@ impl CheckpointReader {
         self.header
     }
 
+    /// The footer's CRC digest (not yet verified against the body). A
+    /// manifest compares this against its recorded per-part digest before
+    /// paying for the full [`CheckpointReader::verify`] scan.
+    pub fn expected_crc(&self) -> u32 {
+        self.expected_crc
+    }
+
     /// Reads the next record; `None` at end. The final call verifies the
     /// CRC and fails if the body was corrupted.
     pub fn next_record(&mut self) -> io::Result<Option<RecordEntry>> {
@@ -400,9 +427,9 @@ mod tests {
         w.write_tombstone(Key(100)).unwrap();
         w.write_record(Key(1), b"alpha").unwrap();
         w.write_record(Key(2), b"").unwrap();
-        let (count, bytes) = w.finish().unwrap();
-        assert_eq!(count, 3);
-        assert!(bytes > 0);
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.records, 3);
+        assert!(summary.bytes > 0);
 
         let r = CheckpointReader::open(&path).unwrap();
         let h = r.header();

@@ -20,8 +20,13 @@
 //! * [`throttle`] — a token-bucket byte throttle modelling the evaluation
 //!   machine's 100–150 MB/s disk (Appendix A notes checkpoint duration is
 //!   disk-bandwidth-bound; the throttle reproduces that regime).
-//! * [`manifest`] — checkpoint directory management: atomic
-//!   tmp-file+rename publication, validity scanning, garbage collection.
+//! * [`manifest`] — checkpoint directory management: multi-part
+//!   checkpoints (N part files committed atomically by one manifest
+//!   rename), the legacy single-file format, validity scanning with
+//!   whole-cycle quarantine, garbage collection.
+//! * [`partition`] — the shard-parallel capture layer: one scan domain
+//!   split into contiguous stripes, written by a pool of capture threads,
+//!   with all-or-nothing abort semantics.
 //! * [`merge`] — background collapsing of partial checkpoints into a new
 //!   full checkpoint (§2.3.1), bounding recovery time.
 
@@ -31,13 +36,15 @@ pub mod calc;
 pub mod file;
 pub mod manifest;
 pub mod merge;
+pub mod partition;
 pub mod phase;
 pub mod strategy;
 pub mod throttle;
 
 pub use calc::CalcStrategy;
-pub use file::{CheckpointKind, CheckpointReader, CheckpointWriter, RecordEntry};
-pub use manifest::{CheckpointDir, CheckpointMeta};
+pub use file::{CheckpointKind, CheckpointReader, CheckpointWriter, PartSummary, RecordEntry};
+pub use manifest::{CheckpointDir, CheckpointMeta, PartMeta, PublishSummary};
+pub use partition::{capture_parts, ShardPartition};
 pub use phase::PhaseController;
 pub use strategy::{
     CheckpointStats, CheckpointStrategy, EngineEnv, TxnToken, UndoImage, UndoRec, WriteKind,

@@ -1,29 +1,66 @@
 //! Checkpoint directory management.
 //!
-//! Checkpoints live in one directory, named `ckpt-{id:010}-{full|part}.calc`.
-//! A checkpoint is *published* by writing to a dotted temp name and
-//! renaming — atomic on POSIX — so a crash at any instant leaves either no
-//! file or a complete one (and [`crate::file::CheckpointReader`] catches
-//! the rare torn-write case via the footer + CRC).
+//! A checkpoint is either:
 //!
-//! Validity is determined by scanning, not by a separate manifest file:
-//! every `.calc` file whose header, footer, and body CRC validate is live. Garbage
-//! collection (after the merger collapses partials, §2.3.1) deletes files
-//! only once their replacement is durably published — "old checkpoints are
-//! discarded only once they have been collapsed."
+//! * **multi-part** (the native format): `N` part files named
+//!   `ckpt-{id:010}-{kind}.part-{k}`, each a self-contained record file
+//!   with its own header/footer/CRC, plus a manifest
+//!   `ckpt-{id:010}-{kind}.manifest` recording the part count and each
+//!   part's record count, byte size, and CRC digest. Parts are written
+//!   directly at their final names but are *invisible* until the manifest
+//!   is published (written to a dotted temp name, fsynced, renamed —
+//!   atomic on POSIX — and made durable with a parent-directory fsync).
+//!   The manifest rename is the commit point of the whole cycle.
+//! * **legacy single-file**: `ckpt-{id:010}-{kind}.calc`, one record file
+//!   published by temp-write + rename. Still readable (and still written
+//!   by a few callers), so old directories recover unchanged.
+//!
+//! Validity is determined by scanning: a manifest whose own CRC holds and
+//! whose every part exists, validates, and matches its recorded digest is
+//! live; anything less quarantines the *whole cycle* (manifest and all
+//! surviving parts renamed to `*.quarantine`) so recovery falls back to
+//! the previous checkpoint instead of loading half a snapshot. Part files
+//! with no manifest are uncommitted debris from an aborted cycle: scans
+//! ignore them and garbage collection removes them. GC (after the merger
+//! collapses partials, §2.3.1) deletes checkpoints only once their
+//! replacement is durably published — "old checkpoints are discarded only
+//! once they have been collapsed."
 
-use std::io;
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use calc_common::crc::crc32;
 use calc_common::types::CommitSeq;
 use calc_common::vfs::{OsVfs, Vfs};
 
-use crate::file::{CheckpointKind, CheckpointReader, CheckpointWriter};
+use crate::file::{CheckpointKind, CheckpointReader, CheckpointWriter, RecordEntry};
 use crate::throttle::Throttle;
 
-/// Metadata of one published, validated checkpoint file.
+const MANIFEST_MAGIC: &[u8; 8] = b"CALCMFST";
+const MANIFEST_VERSION: u32 = 1;
+/// magic + version + kind + id + watermark + parent + part count +
+/// trailing crc.
+const MANIFEST_FIXED_LEN: usize = 8 + 4 + 1 + 8 + 8 + 8 + 4 + 4;
+/// records + bytes + crc per part.
+const MANIFEST_PART_LEN: usize = 8 + 8 + 4;
+/// Encoded `parent` when the checkpoint had no published predecessor.
+const MANIFEST_NO_PARENT: u64 = u64::MAX;
+
+/// One part file of a published checkpoint (a legacy single-file
+/// checkpoint is represented as one part).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartMeta {
+    /// Path of the part file.
+    pub path: PathBuf,
+    /// Records + tombstones in this part.
+    pub records: u64,
+    /// Part file size in bytes.
+    pub bytes: u64,
+}
+
+/// Metadata of one published, validated checkpoint.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckpointMeta {
     /// Checkpoint interval id.
@@ -32,12 +69,49 @@ pub struct CheckpointMeta {
     pub kind: CheckpointKind,
     /// Virtual-point-of-consistency watermark.
     pub watermark: CommitSeq,
-    /// Records + tombstones in the file.
+    /// Records + tombstones across all parts.
     pub records: u64,
-    /// File size in bytes.
+    /// Data bytes across all parts.
     pub bytes: u64,
-    /// Path on disk.
+    /// Id of the checkpoint that was newest-published when this one was
+    /// captured — the coverage baseline a partial's dirty window starts
+    /// at. `None` for legacy files (format predates the field) and for
+    /// checkpoints captured into an empty directory. Recovery uses it to
+    /// detect holes in the partial chain: a partial whose parent is
+    /// missing from the surviving chain must not be applied.
+    pub parent: Option<u64>,
+    /// The manifest path (multi-part) or the data file path (legacy).
     pub path: PathBuf,
+    /// The data files, in part order. Recovery must apply them in this
+    /// order: tombstones are written to part 0 ahead of every value.
+    pub parts: Vec<PartMeta>,
+}
+
+impl CheckpointMeta {
+    /// Reads every record across all parts, in part order.
+    pub fn read_all_with_vfs(&self, vfs: &dyn Vfs) -> io::Result<Vec<RecordEntry>> {
+        let mut out = Vec::with_capacity(self.records as usize);
+        for part in &self.parts {
+            out.extend(CheckpointReader::open_with_vfs(vfs, &part.path)?.read_all()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads every record across all parts on the real filesystem.
+    pub fn read_all(&self) -> io::Result<Vec<RecordEntry>> {
+        self.read_all_with_vfs(&OsVfs)
+    }
+}
+
+/// What a publish produced: totals across every part of the cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishSummary {
+    /// Records + tombstones across all parts.
+    pub records: u64,
+    /// Data bytes across all parts (manifest overhead excluded).
+    pub bytes: u64,
+    /// Number of part files published.
+    pub parts: usize,
 }
 
 /// A managed checkpoint directory.
@@ -48,15 +122,24 @@ pub struct CheckpointDir {
     /// Files [`CheckpointDir::scan`] found invalid and renamed to
     /// `*.quarantine`.
     quarantined: AtomicU64,
+    /// How many part files (and capture threads) new checkpoints use.
+    threads: AtomicUsize,
+    /// Newest published checkpoint id, encoded as `id + 1` (`0` = none
+    /// published yet) so [`AtomicU64::fetch_max`] keeps it monotone.
+    /// Raised by every publish and by every scan; captured into each new
+    /// cycle's manifest as its `parent`.
+    last_published: Arc<AtomicU64>,
 }
 
-/// An in-flight checkpoint: a [`CheckpointWriter`] plus the publication
-/// rename.
+/// An in-flight legacy single-file checkpoint: a [`CheckpointWriter`]
+/// plus the publication rename.
 pub struct PendingCheckpoint {
     writer: CheckpointWriter,
     final_path: PathBuf,
     dir: PathBuf,
     vfs: Arc<dyn Vfs>,
+    id: u64,
+    last_published: Arc<AtomicU64>,
 }
 
 impl PendingCheckpoint {
@@ -76,10 +159,11 @@ impl PendingCheckpoint {
     /// durable (and may already have GC'd predecessors of).
     pub fn publish(self) -> io::Result<(u64, u64)> {
         let tmp = self.writer.path().to_path_buf();
-        let stats = self.writer.finish()?;
+        let summary = self.writer.finish()?;
         self.vfs.rename(&tmp, &self.final_path)?;
         self.vfs.sync_dir(&self.dir)?;
-        Ok(stats)
+        self.last_published.fetch_max(self.id + 1, Ordering::Relaxed);
+        Ok((summary.records, summary.bytes))
     }
 
     /// Abandons the checkpoint, removing the temp file.
@@ -88,6 +172,195 @@ impl PendingCheckpoint {
         drop(self.writer);
         let _ = self.vfs.remove_file(&tmp);
     }
+}
+
+/// An in-flight multi-part checkpoint. The part writers are handed out
+/// separately (one per capture thread); this handle owns the publication
+/// step: finish every part, then write + rename the manifest as the
+/// cycle's single atomic commit point.
+pub struct PendingPartsCheckpoint {
+    kind: CheckpointKind,
+    id: u64,
+    watermark: CommitSeq,
+    parent: Option<u64>,
+    part_paths: Vec<PathBuf>,
+    dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    last_published: Arc<AtomicU64>,
+}
+
+impl PendingPartsCheckpoint {
+    /// Seals every part and atomically publishes the cycle.
+    ///
+    /// Each part is fsynced by its own `finish()`; the manifest is then
+    /// written to a dotted temp name, fsynced, renamed, and the parent
+    /// directory fsynced. Until the manifest rename is durable the part
+    /// files are invisible to [`CheckpointDir::scan`], so a crash at any
+    /// instant leaves either the complete cycle or no cycle at all.
+    pub fn publish(self, writers: Vec<CheckpointWriter>) -> io::Result<PublishSummary> {
+        match self.try_publish(writers) {
+            Ok(s) => Ok(s),
+            Err(e) => {
+                // Nothing published: remove the debris (parts at final
+                // names, possibly a temp manifest) so GC never has to.
+                let manifest_name = CheckpointDir::manifest_file_name(self.id, self.kind);
+                let _ = self.vfs.remove_file(&self.dir.join(format!(".tmp-{manifest_name}")));
+                for p in &self.part_paths {
+                    let _ = self.vfs.remove_file(p);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn try_publish(&self, writers: Vec<CheckpointWriter>) -> io::Result<PublishSummary> {
+        debug_assert_eq!(writers.len(), self.part_paths.len());
+        let mut digests = Vec::with_capacity(writers.len());
+        for w in writers {
+            digests.push(w.finish()?);
+        }
+        let records = digests.iter().map(|d| d.records).sum();
+        let bytes = digests.iter().map(|d| d.bytes).sum();
+        let parts = digests.len();
+
+        let manifest_name = CheckpointDir::manifest_file_name(self.id, self.kind);
+        let final_path = self.dir.join(&manifest_name);
+        let tmp_path = self.dir.join(format!(".tmp-{manifest_name}"));
+        let mut body = Vec::with_capacity(MANIFEST_FIXED_LEN + parts * MANIFEST_PART_LEN);
+        body.extend_from_slice(MANIFEST_MAGIC);
+        body.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        body.push(self.kind.to_byte());
+        body.extend_from_slice(&self.id.to_le_bytes());
+        body.extend_from_slice(&self.watermark.0.to_le_bytes());
+        body.extend_from_slice(&self.parent.unwrap_or(MANIFEST_NO_PARENT).to_le_bytes());
+        body.extend_from_slice(&(parts as u32).to_le_bytes());
+        for d in &digests {
+            body.extend_from_slice(&d.records.to_le_bytes());
+            body.extend_from_slice(&d.bytes.to_le_bytes());
+            body.extend_from_slice(&d.crc.to_le_bytes());
+        }
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+
+        let mut f = self.vfs.create(&tmp_path)?;
+        f.write_all(&body)?;
+        f.sync()?;
+        drop(f);
+        self.vfs.rename(&tmp_path, &final_path)?;
+        self.vfs.sync_dir(&self.dir)?;
+        self.last_published.fetch_max(self.id + 1, Ordering::Relaxed);
+        Ok(PublishSummary {
+            records,
+            bytes,
+            parts,
+        })
+    }
+
+    /// Abandons the cycle: removes every part file already created. Safe
+    /// because nothing was published — the manifest never existed, so the
+    /// parts were never visible.
+    pub fn abandon(self) {
+        for p in &self.part_paths {
+            let _ = self.vfs.remove_file(p);
+        }
+    }
+
+    /// The final path the manifest will be published at.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir
+            .join(CheckpointDir::manifest_file_name(self.id, self.kind))
+    }
+}
+
+/// Which checkpoint namespace a directory entry belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NameClass {
+    Legacy,
+    Manifest,
+    Part(u32),
+}
+
+/// Parses `ckpt-{id:010}-{kind}.{calc|manifest|part-k}`.
+fn parse_ckpt_name(name: &str) -> Option<(u64, CheckpointKind, NameClass)> {
+    let rest = name.strip_prefix("ckpt-")?;
+    let (id_str, rest) = rest.split_at_checked(10)?;
+    let id: u64 = id_str.parse().ok()?;
+    let rest = rest.strip_prefix('-')?;
+    let (kind, rest) = if let Some(r) = rest.strip_prefix("full") {
+        (CheckpointKind::Full, r)
+    } else if let Some(r) = rest.strip_prefix("part") {
+        (CheckpointKind::Partial, r)
+    } else {
+        return None;
+    };
+    let class = if rest == ".calc" {
+        NameClass::Legacy
+    } else if rest == ".manifest" {
+        NameClass::Manifest
+    } else if let Some(k) = rest.strip_prefix(".part-") {
+        NameClass::Part(k.parse().ok()?)
+    } else {
+        return None;
+    };
+    Some((id, kind, class))
+}
+
+/// A decoded manifest body.
+struct ManifestDoc {
+    kind: CheckpointKind,
+    id: u64,
+    watermark: CommitSeq,
+    parent: Option<u64>,
+    parts: Vec<(u64, u64, u32)>, // (records, bytes, crc) per part
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn decode_manifest(bytes: &[u8]) -> io::Result<ManifestDoc> {
+    if bytes.len() < MANIFEST_FIXED_LEN {
+        return Err(invalid("manifest too short"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(tail.try_into().unwrap());
+    if crc32(body) != expected {
+        return Err(invalid("manifest CRC mismatch"));
+    }
+    if &body[..8] != MANIFEST_MAGIC {
+        return Err(invalid("bad manifest magic"));
+    }
+    let version = u32::from_le_bytes(body[8..12].try_into().unwrap());
+    if version != MANIFEST_VERSION {
+        return Err(invalid("unsupported manifest version"));
+    }
+    let kind = CheckpointKind::from_byte(body[12])?;
+    let id = u64::from_le_bytes(body[13..21].try_into().unwrap());
+    let watermark = CommitSeq(u64::from_le_bytes(body[21..29].try_into().unwrap()));
+    let parent = match u64::from_le_bytes(body[29..37].try_into().unwrap()) {
+        MANIFEST_NO_PARENT => None,
+        p => Some(p),
+    };
+    let count = u32::from_le_bytes(body[37..41].try_into().unwrap()) as usize;
+    if count == 0 || body.len() != MANIFEST_FIXED_LEN - 4 + count * MANIFEST_PART_LEN {
+        return Err(invalid("manifest part table size mismatch"));
+    }
+    let mut parts = Vec::with_capacity(count);
+    for k in 0..count {
+        let at = 41 + k * MANIFEST_PART_LEN;
+        parts.push((
+            u64::from_le_bytes(body[at..at + 8].try_into().unwrap()),
+            u64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap()),
+            u32::from_le_bytes(body[at + 16..at + 20].try_into().unwrap()),
+        ));
+    }
+    Ok(ManifestDoc {
+        kind,
+        id,
+        watermark,
+        parent,
+        parts,
+    })
 }
 
 impl CheckpointDir {
@@ -110,7 +383,29 @@ impl CheckpointDir {
             throttle,
             vfs,
             quarantined: AtomicU64::new(0),
+            threads: AtomicUsize::new(1),
+            last_published: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Id of the newest checkpoint this handle has published or seen in a
+    /// scan. `None` until either happens.
+    pub fn last_published(&self) -> Option<u64> {
+        match self.last_published.load(Ordering::Relaxed) {
+            0 => None,
+            raw => Some(raw - 1),
+        }
+    }
+
+    /// Sets how many part files (one capture thread each) new checkpoints
+    /// are split into. Clamped to at least 1.
+    pub fn set_checkpoint_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// The configured part count / capture thread pool size.
+    pub fn checkpoint_threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed).max(1)
     }
 
     /// Number of invalid checkpoint files this handle's scans have
@@ -147,11 +442,22 @@ impl CheckpointDir {
         &self.throttle
     }
 
-    fn file_name(id: u64, kind: CheckpointKind) -> String {
+    /// Legacy single-file checkpoint name.
+    pub fn file_name(id: u64, kind: CheckpointKind) -> String {
         format!("ckpt-{id:010}-{kind}.calc")
     }
 
-    /// Starts a new checkpoint of the given identity. The returned handle
+    /// Manifest name of a multi-part checkpoint.
+    pub fn manifest_file_name(id: u64, kind: CheckpointKind) -> String {
+        format!("ckpt-{id:010}-{kind}.manifest")
+    }
+
+    /// Name of part `k` of a multi-part checkpoint.
+    pub fn part_file_name(id: u64, kind: CheckpointKind, k: usize) -> String {
+        format!("ckpt-{id:010}-{kind}.part-{k}")
+    }
+
+    /// Starts a new legacy single-file checkpoint. The returned handle
     /// writes to a temp file; nothing is visible until
     /// [`PendingCheckpoint::publish`].
     pub fn begin(
@@ -175,58 +481,223 @@ impl CheckpointDir {
             final_path,
             dir: self.dir.clone(),
             vfs: self.vfs.clone(),
+            id,
+            last_published: self.last_published.clone(),
+        })
+    }
+
+    /// Starts a new multi-part checkpoint with `parts` part files,
+    /// returning the pending handle and one writer per part (to be
+    /// distributed over capture threads). Part files are created at
+    /// their final names but stay invisible until the manifest publishes;
+    /// if any create fails, the ones already created are removed.
+    pub fn begin_parts(
+        &self,
+        kind: CheckpointKind,
+        id: u64,
+        watermark: CommitSeq,
+        parts: usize,
+    ) -> io::Result<(PendingPartsCheckpoint, Vec<CheckpointWriter>)> {
+        let parts = parts.max(1);
+        let mut part_paths = Vec::with_capacity(parts);
+        let mut writers = Vec::with_capacity(parts);
+        for k in 0..parts {
+            let path = self.dir.join(Self::part_file_name(id, kind, k));
+            match CheckpointWriter::create_with_vfs(
+                self.vfs.as_ref(),
+                &path,
+                kind,
+                id,
+                watermark,
+                self.throttle.clone(),
+            ) {
+                Ok(w) => {
+                    part_paths.push(path);
+                    writers.push(w);
+                }
+                Err(e) => {
+                    drop(writers);
+                    for p in &part_paths {
+                        let _ = self.vfs.remove_file(p);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok((
+            PendingPartsCheckpoint {
+                kind,
+                id,
+                watermark,
+                // The coverage baseline: whatever was newest-published
+                // when this capture began is what a partial's dirty
+                // window is relative to.
+                parent: self.last_published(),
+                part_paths,
+                dir: self.dir.clone(),
+                vfs: self.vfs.clone(),
+                last_published: self.last_published.clone(),
+            },
+            writers,
+        ))
+    }
+
+    /// Validates one manifest's cycle. Returns the meta, or `None` after
+    /// quarantining whichever files of the cycle exist.
+    fn validate_manifest(&self, path: &Path, id: u64, kind: CheckpointKind) -> Option<CheckpointMeta> {
+        let doc = (|| -> io::Result<ManifestDoc> {
+            let mut buf = Vec::new();
+            self.vfs.open_read(path)?.read_to_end(&mut buf)?;
+            let doc = decode_manifest(&buf)?;
+            if doc.id != id || doc.kind != kind {
+                return Err(invalid("manifest identity does not match its name"));
+            }
+            Ok(doc)
+        })();
+        let doc = match doc {
+            Ok(d) => d,
+            Err(_) => {
+                // An unreadable manifest condemns only itself: its part
+                // names cannot be trusted, and orphaned parts are invisible
+                // anyway.
+                self.quarantine(path);
+                return None;
+            }
+        };
+        let mut parts = Vec::with_capacity(doc.parts.len());
+        let mut ok = true;
+        for (k, &(records, bytes, crc)) in doc.parts.iter().enumerate() {
+            let part_path = self.dir.join(Self::part_file_name(id, kind, k));
+            let valid = CheckpointReader::open_with_vfs(self.vfs.as_ref(), &part_path)
+                .and_then(|r| {
+                    if r.expected_crc() != crc {
+                        return Err(invalid("part digest does not match manifest"));
+                    }
+                    r.verify()
+                })
+                .map(|h| {
+                    h.id == id && h.kind == kind && h.watermark == doc.watermark && h.records == records
+                })
+                .unwrap_or(false);
+            if !valid {
+                ok = false;
+                break;
+            }
+            parts.push(PartMeta {
+                path: part_path,
+                records,
+                bytes,
+            });
+        }
+        if !ok {
+            // One missing or corrupt part condemns the whole cycle: a
+            // snapshot with a hole is worse than falling back to the
+            // previous checkpoint plus a longer replay.
+            for k in 0..doc.parts.len() {
+                let p = self.dir.join(Self::part_file_name(id, kind, k));
+                if self.vfs.len(&p).is_ok() {
+                    self.quarantine(&p);
+                }
+            }
+            self.quarantine(path);
+            return None;
+        }
+        Some(CheckpointMeta {
+            id,
+            kind,
+            watermark: doc.watermark,
+            records: parts.iter().map(|p| p.records).sum(),
+            bytes: parts.iter().map(|p| p.bytes).sum(),
+            parent: doc.parent,
+            path: path.to_path_buf(),
+            parts,
         })
     }
 
     /// Scans the directory for valid published checkpoints, ascending by
     /// `(id, kind)` with Full ordered before Partial at equal id (a merged
-    /// full supersedes the same-id partial).
+    /// full supersedes the same-id partial). Multi-part cycles with a
+    /// missing or corrupt part are quarantined wholesale; part files with
+    /// no manifest are uncommitted debris and are ignored.
     pub fn scan(&self) -> io::Result<Vec<CheckpointMeta>> {
         let mut out = Vec::new();
         for path in self.vfs.read_dir(&self.dir)? {
             let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
                 continue;
             };
-            if !name.starts_with("ckpt-") || !name.ends_with(".calc") {
+            let Some((id, kind, class)) = parse_ckpt_name(&name) else {
                 continue;
+            };
+            match class {
+                NameClass::Part(_) => continue,
+                NameClass::Manifest => {
+                    if let Some(meta) = self.validate_manifest(&path, id, kind) {
+                        out.push(meta);
+                    }
+                }
+                NameClass::Legacy => {
+                    let reader = match CheckpointReader::open_with_vfs(self.vfs.as_ref(), &path) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            // Crashed mid-capture: quarantine rather than
+                            // silently skipping, so the corruption is visible
+                            // in metrics and never rescanned.
+                            self.quarantine(&path);
+                            continue;
+                        }
+                    };
+                    // Footer magic alone is not proof of integrity: a bit
+                    // flip or torn write in the body leaves the footer
+                    // intact, so validate the full CRC before treating the
+                    // file as live.
+                    let h = match reader.verify() {
+                        Ok(h) => h,
+                        Err(_) => {
+                            self.quarantine(&path);
+                            continue;
+                        }
+                    };
+                    let bytes = self.vfs.len(&path)?;
+                    out.push(CheckpointMeta {
+                        id: h.id,
+                        kind: h.kind,
+                        watermark: h.watermark,
+                        records: h.records,
+                        bytes,
+                        // Legacy headers predate the parent field; the
+                        // recovery chain falls back to requiring dense ids.
+                        parent: None,
+                        path: path.clone(),
+                        parts: vec![PartMeta {
+                            path,
+                            records: h.records,
+                            bytes,
+                        }],
+                    });
+                }
             }
-            let reader = match CheckpointReader::open_with_vfs(self.vfs.as_ref(), &path) {
-                Ok(r) => r,
-                Err(_) => {
-                    // Crashed mid-capture: quarantine rather than silently
-                    // skipping, so the corruption is visible in metrics and
-                    // never rescanned.
-                    self.quarantine(&path);
-                    continue;
-                }
-            };
-            // Footer magic alone is not proof of integrity: a bit flip or
-            // torn write in the body leaves the footer intact, so validate
-            // the full CRC before treating the file as live.
-            let h = match reader.verify() {
-                Ok(h) => h,
-                Err(_) => {
-                    // Corrupt body.
-                    self.quarantine(&path);
-                    continue;
-                }
-            };
-            out.push(CheckpointMeta {
-                id: h.id,
-                kind: h.kind,
-                watermark: h.watermark,
-                records: h.records,
-                bytes: self.vfs.len(&path)?,
-                path,
-            });
         }
         out.sort_by_key(|m| (m.id, matches!(m.kind, CheckpointKind::Partial)));
+        if let Some(max_id) = out.iter().map(|m| m.id).max() {
+            self.last_published.fetch_max(max_id + 1, Ordering::Relaxed);
+        }
         Ok(out)
     }
 
-    /// The recovery chain: the newest valid full checkpoint plus every
-    /// valid partial with a larger id, ascending. `None` if no full
-    /// checkpoint exists.
+    /// The recovery chain: the newest valid full checkpoint plus the
+    /// longest *unbroken* run of newer partials, ascending. `None` if no
+    /// full checkpoint exists.
+    ///
+    /// Unbroken means each partial's recorded `parent` is the previous
+    /// chain element (ids may legally skip — a failed cycle consumes an id
+    /// and rolls its coverage into the next one). A partial whose parent
+    /// is missing — lost or quarantined by a crash — starts a hole: its
+    /// dirty window begins at the missing checkpoint, so applying it (or
+    /// anything after it) would silently drop every write only the missing
+    /// checkpoint captured. Everything from the hole on is excluded;
+    /// command-log replay from the shorter chain's watermark covers the
+    /// difference. Legacy files carry no parent and fall back to requiring
+    /// dense ids.
     pub fn recovery_chain(&self) -> io::Result<Option<(CheckpointMeta, Vec<CheckpointMeta>)>> {
         let all = self.scan()?;
         let Some(full) = all
@@ -237,21 +708,59 @@ impl CheckpointDir {
         else {
             return Ok(None);
         };
-        let partials = all
-            .into_iter()
-            .filter(|m| m.kind == CheckpointKind::Partial && m.id > full.id)
-            .collect();
+        let mut partials: Vec<CheckpointMeta> = Vec::new();
+        let mut prev = full.id;
+        for m in all {
+            if m.kind != CheckpointKind::Partial || m.id <= full.id {
+                continue;
+            }
+            let linked = match m.parent {
+                Some(parent) => parent == prev,
+                None => m.id == prev + 1,
+            };
+            if !linked {
+                break;
+            }
+            prev = m.id;
+            partials.push(m);
+        }
         Ok(Some((full, partials)))
     }
 
-    /// Deletes checkpoint files that are superseded: everything with
-    /// `id <= through_id` except the given replacement path.
+    /// Deletes checkpoints that are superseded: every published cycle
+    /// with `id <= through_id` except the replacement at `keep` (its
+    /// parts included), plus orphaned part files in the same id range.
+    /// Returns the number of *checkpoints* (not files) removed.
     pub fn gc_through(&self, through_id: u64, keep: &Path) -> io::Result<usize> {
         let mut removed = 0;
+        let mut kept_parts: Vec<PathBuf> = Vec::new();
         for meta in self.scan()? {
-            if meta.id <= through_id && meta.path != keep {
-                self.vfs.remove_file(&meta.path)?;
+            if meta.path == keep {
+                kept_parts = meta.parts.iter().map(|p| p.path.clone()).collect();
+                continue;
+            }
+            if meta.id <= through_id {
+                for part in &meta.parts {
+                    self.vfs.remove_file(&part.path)?;
+                }
+                if meta.path != meta.parts[0].path {
+                    self.vfs.remove_file(&meta.path)?;
+                }
                 removed += 1;
+            }
+        }
+        // Orphaned parts (no manifest claimed them — debris from aborted
+        // or crashed cycles) in the superseded id range go too. In-flight
+        // cycles are safe: their ids are allocated after everything
+        // published, so they sort above `through_id`.
+        for path in self.vfs.read_dir(&self.dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            if let Some((id, _, NameClass::Part(_))) = parse_ckpt_name(&name) {
+                if id <= through_id && !kept_parts.contains(&path) {
+                    let _ = self.vfs.remove_file(&path);
+                }
             }
         }
         if removed > 0 {
@@ -298,6 +807,20 @@ mod tests {
         p.publish().unwrap();
     }
 
+    /// Publishes a multi-part checkpoint with `n` records striped over
+    /// `parts` part files.
+    fn publish_parts(d: &CheckpointDir, kind: CheckpointKind, id: u64, n: u64, parts: usize) {
+        let (pending, mut writers) = d
+            .begin_parts(kind, id, CommitSeq(id * 100), parts)
+            .unwrap();
+        for k in 0..n {
+            writers[(k as usize) % parts]
+                .write_record(Key(k), b"v")
+                .unwrap();
+        }
+        pending.publish(writers).unwrap();
+    }
+
     #[test]
     fn publish_then_scan() {
         let d = dir("scan");
@@ -313,6 +836,65 @@ mod tests {
     }
 
     #[test]
+    fn publish_parts_then_scan_counts_all_parts() {
+        let d = dir("scan-parts");
+        publish_parts(&d, CheckpointKind::Full, 1, 10, 3);
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].id, 1);
+        assert_eq!(metas[0].records, 10, "records summed over all parts");
+        assert_eq!(metas[0].parts.len(), 3);
+        assert_eq!(
+            metas[0].bytes,
+            metas[0].parts.iter().map(|p| p.bytes).sum::<u64>()
+        );
+        let entries = metas[0].read_all().unwrap();
+        assert_eq!(entries.len(), 10);
+        let mut keys: Vec<u64> = entries
+            .iter()
+            .map(|e| match e {
+                RecordEntry::Value(k, _) => k.0,
+                RecordEntry::Tombstone(k) => k.0,
+            })
+            .collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..10u64).collect::<Vec<_>>());
+    }
+
+    /// The manifest/part round-trip property: for every part count
+    /// (including 1) and several record shapes, publish → scan → read
+    /// returns exactly what was written, in part order.
+    #[test]
+    fn manifest_part_roundtrip_property() {
+        for parts in 1..=5usize {
+            for n in [0u64, 1, 7, 64] {
+                let d = dir(&format!("prop-{parts}-{n}"));
+                let (pending, mut writers) = d
+                    .begin_parts(CheckpointKind::Partial, 3, CommitSeq(77), parts)
+                    .unwrap();
+                let mut expected = Vec::new();
+                // Tombstones ahead of values in part 0, values striped.
+                writers[0].write_tombstone(Key(9999)).unwrap();
+                expected.push(RecordEntry::Tombstone(Key(9999)));
+                for k in 0..n {
+                    let v = vec![(k % 251) as u8; (k as usize % 13) + 1];
+                    writers[(k as usize) % parts].write_record(Key(k), &v).unwrap();
+                }
+                let summary = pending.publish(writers).unwrap();
+                assert_eq!(summary.records, n + 1);
+                assert_eq!(summary.parts, parts);
+                let metas = d.scan().unwrap();
+                assert_eq!(metas.len(), 1, "parts={parts} n={n}");
+                assert_eq!(metas[0].records, n + 1);
+                let got = metas[0].read_all().unwrap();
+                assert_eq!(got.len() as u64, n + 1);
+                assert_eq!(got[0], expected[0], "tombstone first in part 0");
+                assert_eq!(d.quarantined_count(), 0);
+            }
+        }
+    }
+
+    #[test]
     fn abandoned_and_unpublished_files_invisible() {
         let d = dir("abandon");
         let p = d.begin(CheckpointKind::Full, 1, CommitSeq(1)).unwrap();
@@ -324,6 +906,24 @@ mod tests {
         assert!(d.scan().unwrap().is_empty());
         p2.publish().unwrap();
         assert_eq!(d.scan().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unpublished_parts_are_invisible_and_abandon_removes_them() {
+        let d = dir("abandon-parts");
+        let (pending, mut writers) = d
+            .begin_parts(CheckpointKind::Full, 1, CommitSeq(1), 4)
+            .unwrap();
+        for (i, w) in writers.iter_mut().enumerate() {
+            w.write_record(Key(i as u64), b"x").unwrap();
+        }
+        // Parts exist at final names but no manifest: invisible.
+        assert!(d.path().join("ckpt-0000000001-full.part-0").exists());
+        assert!(d.scan().unwrap().is_empty());
+        assert_eq!(d.quarantined_count(), 0, "orphan parts are not corruption");
+        drop(writers);
+        pending.abandon();
+        assert!(!d.path().join("ckpt-0000000001-full.part-0").exists());
     }
 
     #[test]
@@ -360,18 +960,115 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_part_quarantines_the_whole_cycle() {
+        let d = dir("part-corrupt");
+        publish_parts(&d, CheckpointKind::Full, 1, 6, 3);
+        publish_parts(&d, CheckpointKind::Full, 2, 6, 3);
+        // Flip a byte in the middle of one part of the newest cycle.
+        let victim = d.path().join("ckpt-0000000002-full.part-1");
+        let mut data = std::fs::read(&victim).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&victim, &data).unwrap();
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1, "whole cycle rejected, not just one part");
+        assert_eq!(metas[0].id, 1);
+        // Manifest and all three parts of cycle 2 are quarantined.
+        assert_eq!(d.quarantined_count(), 4);
+        for name in [
+            "ckpt-0000000002-full.manifest.quarantine",
+            "ckpt-0000000002-full.part-0.quarantine",
+            "ckpt-0000000002-full.part-1.quarantine",
+            "ckpt-0000000002-full.part-2.quarantine",
+        ] {
+            assert!(d.path().join(name).exists(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn missing_part_quarantines_the_whole_cycle() {
+        let d = dir("part-missing");
+        publish_parts(&d, CheckpointKind::Full, 1, 6, 3);
+        publish_parts(&d, CheckpointKind::Full, 2, 6, 3);
+        std::fs::remove_file(d.path().join("ckpt-0000000002-full.part-2")).unwrap();
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].id, 1);
+        // Manifest + the two surviving parts.
+        assert_eq!(d.quarantined_count(), 3);
+    }
+
+    #[test]
+    fn legacy_and_multipart_coexist_in_one_chain() {
+        let d = dir("mixed");
+        publish(&d, CheckpointKind::Full, 0, 3); // legacy base
+        publish_parts(&d, CheckpointKind::Partial, 1, 4, 2);
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        assert_eq!(full.id, 0);
+        assert_eq!(full.parts.len(), 1, "legacy checkpoint is one part");
+        assert_eq!(partials.len(), 1);
+        assert_eq!(partials[0].parts.len(), 2);
+    }
+
+    #[test]
     fn recovery_chain_picks_latest_full_and_newer_partials() {
         let d = dir("chain");
         publish(&d, CheckpointKind::Full, 0, 3);
         publish(&d, CheckpointKind::Partial, 1, 1);
-        publish(&d, CheckpointKind::Partial, 2, 1);
-        publish(&d, CheckpointKind::Full, 2, 4); // merged full at id 2
+        publish_parts(&d, CheckpointKind::Partial, 2, 1, 2);
+        publish_parts(&d, CheckpointKind::Full, 2, 4, 2); // merged full at id 2
         publish(&d, CheckpointKind::Partial, 3, 1);
         let (full, partials) = d.recovery_chain().unwrap().unwrap();
         assert_eq!(full.id, 2);
         assert_eq!(full.kind, CheckpointKind::Full);
         let ids: Vec<u64> = partials.iter().map(|m| m.id).collect();
         assert_eq!(ids, vec![3]);
+    }
+
+    #[test]
+    fn recovery_chain_stops_at_a_hole_in_the_partial_chain() {
+        let d = dir("chain-hole");
+        publish_parts(&d, CheckpointKind::Full, 0, 4, 2);
+        publish_parts(&d, CheckpointKind::Partial, 1, 2, 2);
+        publish_parts(&d, CheckpointKind::Partial, 2, 2, 2);
+        publish_parts(&d, CheckpointKind::Partial, 3, 2, 2);
+        // A crash un-publishes partial 2 (its manifest rename was never
+        // made durable); partials 1 and 3 survive. Partial 3's dirty
+        // window starts at partial 2, so applying it would silently drop
+        // every write only partial 2 captured — the chain must stop at 1.
+        for k in 0..2 {
+            std::fs::remove_file(d.path().join(CheckpointDir::part_file_name(
+                2,
+                CheckpointKind::Partial,
+                k,
+            )))
+            .unwrap();
+        }
+        std::fs::remove_file(
+            d.path()
+                .join(CheckpointDir::manifest_file_name(2, CheckpointKind::Partial)),
+        )
+        .unwrap();
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        assert_eq!(full.id, 0);
+        let ids: Vec<u64> = partials.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![1], "partials after the hole must be dropped");
+    }
+
+    #[test]
+    fn recovery_chain_tolerates_id_gaps_from_failed_cycles() {
+        let d = dir("chain-gap");
+        publish_parts(&d, CheckpointKind::Full, 0, 4, 2);
+        publish_parts(&d, CheckpointKind::Partial, 1, 2, 2);
+        // Cycle 2 failed (consumed its id, published nothing, rolled its
+        // coverage into cycle 3) — cycle 3's parent is 1, so the chain
+        // stays intact across the id gap.
+        publish_parts(&d, CheckpointKind::Partial, 3, 2, 2);
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        assert_eq!(full.id, 0);
+        let ids: Vec<u64> = partials.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(partials[1].parent, Some(1));
     }
 
     #[test]
@@ -394,5 +1091,33 @@ mod tests {
         let metas = d.scan().unwrap();
         assert_eq!(metas.len(), 1);
         assert_eq!(metas[0].path, keep);
+    }
+
+    #[test]
+    fn gc_removes_superseded_multipart_cycles_and_orphans() {
+        let d = dir("gc-parts");
+        publish_parts(&d, CheckpointKind::Full, 0, 2, 2);
+        publish_parts(&d, CheckpointKind::Partial, 1, 2, 3);
+        publish_parts(&d, CheckpointKind::Full, 1, 4, 2); // replacement
+        // Orphan debris from an aborted cycle in the superseded range.
+        let (pending, writers) = d
+            .begin_parts(CheckpointKind::Partial, 0, CommitSeq(1), 2)
+            .unwrap();
+        drop(writers);
+        std::mem::forget(pending); // crash: no abandon, no publish
+        let keep = d.path().join(CheckpointDir::manifest_file_name(1, CheckpointKind::Full));
+        let removed = d.gc_through(1, &keep).unwrap();
+        assert_eq!(removed, 2);
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].path, keep);
+        assert_eq!(metas[0].parts.len(), 2, "kept cycle's parts survive GC");
+        // Every superseded data/manifest/orphan file is gone.
+        let leftovers: Vec<String> = std::fs::read_dir(d.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| !n.starts_with("ckpt-0000000001-full"))
+            .collect();
+        assert!(leftovers.is_empty(), "GC left {leftovers:?}");
     }
 }

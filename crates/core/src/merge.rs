@@ -15,6 +15,9 @@
 
 use std::collections::BTreeMap;
 use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use calc_common::types::{Key, Value};
@@ -22,6 +25,7 @@ use calc_common::vfs::{OsVfs, Vfs};
 
 use crate::file::{CheckpointKind, CheckpointReader, RecordEntry};
 use crate::manifest::{CheckpointDir, CheckpointMeta};
+use crate::partition::{capture_parts, ShardPartition};
 
 /// Outcome of one collapse run.
 #[derive(Clone, Debug)]
@@ -69,15 +73,133 @@ pub fn materialize_chain_with_vfs(
     partials: &[CheckpointMeta],
 ) -> io::Result<BTreeMap<Key, Value>> {
     let mut state = BTreeMap::new();
-    for entry in CheckpointReader::open_with_vfs(vfs, &full.path)?.read_all()? {
+    for entry in full.read_all_with_vfs(vfs)? {
         apply_entry(&mut state, entry);
     }
     for p in partials {
-        for entry in CheckpointReader::open_with_vfs(vfs, &p.path)?.read_all()? {
+        for entry in p.read_all_with_vfs(vfs)? {
             apply_entry(&mut state, entry);
         }
     }
     Ok(state)
+}
+
+/// Reads one checkpoint file and buckets its entries by key hash,
+/// preserving in-file order within each bucket.
+fn bucket_file(vfs: &dyn Vfs, path: &Path, shards: usize) -> io::Result<Vec<Vec<RecordEntry>>> {
+    let mut out = vec![Vec::new(); shards];
+    for entry in CheckpointReader::open_with_vfs(vfs, path)?.read_all()? {
+        out[(entry.key().0 as usize) % shards].push(entry);
+    }
+    Ok(out)
+}
+
+/// Wall-clock split of a sharded materialization, surfaced through
+/// recovery's progress stats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaterializeTiming {
+    /// Phase A: reading part files and bucketing entries by key hash.
+    pub read: Duration,
+    /// Phase B: per-shard last-event-wins merge.
+    pub merge: Duration,
+}
+
+/// One file's entries bucketed by key-hash shard, parked in a slot until
+/// phase B merges it in chain order.
+type BucketSlot = Mutex<Option<io::Result<Vec<Vec<RecordEntry>>>>>;
+
+/// Shard-parallel [`materialize_chain`]: loads every part of the chain in
+/// parallel and merges per key-hash shard, returning `threads` sub-maps
+/// whose disjoint union is the chain's state (shard `r` holds exactly the
+/// keys with `key % threads == r`), plus the per-phase timing.
+///
+/// Part-index stripes are **not** stable across checkpoints (the store
+/// grows, dirty sets differ), so merging part `k` of one file into part
+/// `k` of the next would be wrong. Instead phase A reads files in
+/// parallel, bucketing entries by key hash while preserving in-file
+/// order; phase B merges each shard's buckets in chain order (full first,
+/// then partials ascending, parts in index order within a file set) with
+/// last-event-wins semantics — the same order the serial path applies.
+pub fn materialize_chain_sharded_with_vfs(
+    vfs: &dyn Vfs,
+    full: &CheckpointMeta,
+    partials: &[CheckpointMeta],
+    threads: usize,
+) -> io::Result<(Vec<BTreeMap<Key, Value>>, MaterializeTiming)> {
+    let shards = threads.max(1);
+    let mut paths: Vec<&Path> = full.parts.iter().map(|p| p.path.as_path()).collect();
+    for p in partials {
+        paths.extend(p.parts.iter().map(|q| q.path.as_path()));
+    }
+    let mut timing = MaterializeTiming::default();
+    let read_start = Instant::now();
+
+    // Phase A: parallel per-file read + hash bucketing.
+    let buckets: Vec<Vec<Vec<RecordEntry>>> = if shards == 1 || paths.len() <= 1 {
+        let mut out = Vec::with_capacity(paths.len());
+        for path in &paths {
+            out.push(bucket_file(vfs, path, shards)?);
+        }
+        out
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<BucketSlot> = paths.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..shards.min(paths.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(path) = paths.get(i) else { break };
+                    let r = bucket_file(vfs, path, shards);
+                    *slots[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(paths.len());
+        for slot in slots {
+            out.push(slot.into_inner().unwrap().expect("worker filled slot")?);
+        }
+        out
+    };
+
+    timing.read = read_start.elapsed();
+    let merge_start = Instant::now();
+
+    // Transpose to per-shard bucket lists, keeping chain order.
+    let mut per_shard: Vec<Vec<Vec<RecordEntry>>> =
+        (0..shards).map(|_| Vec::with_capacity(buckets.len())).collect();
+    for file_buckets in buckets {
+        for (r, b) in file_buckets.into_iter().enumerate() {
+            per_shard[r].push(b);
+        }
+    }
+
+    // Phase B: per-shard last-event-wins merge, one thread per shard.
+    let merge_shard = |chunks: Vec<Vec<RecordEntry>>| -> BTreeMap<Key, Value> {
+        let mut m = BTreeMap::new();
+        for chunk in chunks {
+            for entry in chunk {
+                apply_entry(&mut m, entry);
+            }
+        }
+        m
+    };
+    let maps = if shards == 1 {
+        let only = per_shard.pop().expect("one shard");
+        vec![merge_shard(only)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = per_shard
+                .into_iter()
+                .map(|chunks| s.spawn(move || merge_shard(chunks)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("merge thread panicked"))
+                .collect::<Vec<_>>()
+        })
+    };
+    timing.merge = merge_start.elapsed();
+    Ok((maps, timing))
 }
 
 /// Collapses the newest full checkpoint with all newer partials into a new
@@ -94,21 +216,33 @@ pub fn collapse(dir: &CheckpointDir) -> io::Result<Option<MergeStats>> {
     }
     let state = materialize_chain_with_vfs(dir.vfs().as_ref(), &full, &partials)?;
     let last = partials.last().expect("nonempty");
-    let mut pending = dir.begin(CheckpointKind::Full, last.id, last.watermark)?;
-    for (key, value) in &state {
-        pending.writer().write_record(*key, value)?;
-    }
-    let (records, bytes) = pending.publish()?;
+    let entries: Vec<(&Key, &Value)> = state.iter().collect();
+    let threads = dir.checkpoint_threads();
+    let split = ShardPartition::over(entries.len(), threads);
+    let summary = capture_parts(
+        dir,
+        CheckpointKind::Full,
+        last.id,
+        last.watermark,
+        &[],
+        threads,
+        |k, w, _cancel| {
+            for &(key, value) in &entries[split.range(k)] {
+                w.write_record(*key, value)?;
+            }
+            Ok(())
+        },
+    )?;
     let new_path = dir
         .path()
-        .join(format!("ckpt-{:010}-full.calc", last.id));
+        .join(CheckpointDir::manifest_file_name(last.id, CheckpointKind::Full));
     // Only now that the replacement is durable do the inputs go away.
     let removed = dir.gc_through(last.id, &new_path)?;
     Ok(Some(MergeStats {
         inputs: 1 + partials.len(),
         new_full_id: last.id,
-        records,
-        bytes,
+        records: summary.records,
+        bytes: summary.bytes,
         removed,
         duration: start.elapsed(),
     }))
@@ -176,10 +310,7 @@ mod tests {
         assert_eq!(metas.len(), 1);
         assert_eq!(metas[0].kind, CheckpointKind::Full);
         assert_eq!(metas[0].watermark, CommitSeq(20));
-        let entries = CheckpointReader::open(&metas[0].path)
-            .unwrap()
-            .read_all()
-            .unwrap();
+        let entries = metas[0].read_all().unwrap();
         let got: Vec<(u64, Vec<u8>)> = entries
             .into_iter()
             .map(|e| match e {
@@ -214,7 +345,7 @@ mod tests {
         write_partial(&d, 1, &[(1, None), (1, Some(b"new"))]);
         collapse(&d).unwrap().unwrap();
         let (full, _) = d.recovery_chain().unwrap().unwrap();
-        let entries = CheckpointReader::open(&full.path).unwrap().read_all().unwrap();
+        let entries = full.read_all().unwrap();
         assert_eq!(
             entries,
             vec![RecordEntry::Value(Key(1), b"new".to_vec().into_boxed_slice())]
@@ -238,6 +369,50 @@ mod tests {
         assert_eq!(state.len(), 2);
         assert_eq!(&state[&Key(1)][..], b"v3");
         assert_eq!(&state[&Key(2)][..], b"w2");
+    }
+
+    #[test]
+    fn sharded_materialization_matches_serial() {
+        let d = dir("sharded");
+        d.set_checkpoint_threads(3);
+        write_full(&d, 0, &[(1, b"a0"), (2, b"b0"), (3, b"c0"), (64, b"z0")]);
+        write_partial(&d, 1, &[(1, Some(b"a1")), (3, None)]);
+        write_partial(&d, 2, &[(3, Some(b"c2")), (2, None), (65, Some(b"y2"))]);
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        let serial = materialize_chain(&full, &partials).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let (maps, _timing) =
+                materialize_chain_sharded_with_vfs(&OsVfs, &full, &partials, threads).unwrap();
+            assert_eq!(maps.len(), threads);
+            // Shard r holds exactly the keys hashing to r, and the union
+            // equals the serial result.
+            let mut union = BTreeMap::new();
+            for (r, m) in maps.into_iter().enumerate() {
+                for (k, v) in m {
+                    assert_eq!(k.0 as usize % threads, r, "key {k:?} in wrong shard");
+                    assert!(union.insert(k, v).is_none(), "key {k:?} in two shards");
+                }
+            }
+            assert_eq!(union, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn collapse_of_multipart_inputs_writes_multipart_full() {
+        let d = dir("collapse-parts");
+        d.set_checkpoint_threads(4);
+        write_full(&d, 0, &[(1, b"a0"), (2, b"b0")]);
+        write_partial(&d, 1, &[(1, Some(b"a1")), (3, Some(b"c1"))]);
+        let stats = collapse(&d).unwrap().unwrap();
+        assert_eq!(stats.new_full_id, 1);
+        assert_eq!(stats.records, 3);
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].parts.len(), 4, "collapse honours checkpoint_threads");
+        let state = materialize_chain(&metas[0], &[]).unwrap();
+        assert_eq!(&state[&Key(1)][..], b"a1");
+        assert_eq!(&state[&Key(2)][..], b"b0");
+        assert_eq!(&state[&Key(3)][..], b"c1");
     }
 
     #[test]

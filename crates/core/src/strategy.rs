@@ -121,6 +121,8 @@ pub struct CheckpointStats {
     pub duration: Duration,
     /// Time the system was quiesced (zero for CALC).
     pub quiesce: Duration,
+    /// Part files written (1 for legacy single-file checkpoints).
+    pub parts: usize,
 }
 
 /// A checkpointing algorithm integrated with the execution engine. See
@@ -138,7 +140,9 @@ pub trait CheckpointStrategy: Send + Sync {
     fn partial(&self) -> bool;
 
     /// Bulk-loads a record outside any transaction (initial population /
-    /// recovery). Not thread-safe with concurrent transactions.
+    /// recovery). Not thread-safe with concurrent transactions; concurrent
+    /// `load_initial` calls on **distinct keys** are allowed (parallel
+    /// recovery installs key-hash shards on separate threads).
     fn load_initial(&self, key: Key, value: &[u8]) -> Result<(), StoreError>;
 
     /// Reads the latest committed value (the caller holds the logical

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use calc_common::rng::SplitMix;
 use calc_common::types::{CommitSeq, Key, TxnId, Value};
 use calc_core::calc::CalcStrategy;
-use calc_core::file::{CheckpointKind, CheckpointReader};
+use calc_core::file::CheckpointKind;
 use calc_core::manifest::CheckpointDir;
 use calc_core::merge::{apply_entry, materialize_chain};
 use calc_core::strategy::{CheckpointStrategy, NoopEnv, UndoImage, UndoRec};
@@ -73,9 +73,9 @@ impl Journal {
     }
 }
 
-fn checkpoint_state(path: &std::path::Path) -> BTreeMap<Key, Value> {
+fn checkpoint_state(meta: &calc_core::manifest::CheckpointMeta) -> BTreeMap<Key, Value> {
     let mut state = BTreeMap::new();
-    for e in CheckpointReader::open(path).unwrap().read_all().unwrap() {
+    for e in meta.read_all().unwrap() {
         apply_entry(&mut state, e);
     }
     state
@@ -283,7 +283,7 @@ fn stress(
         }
     } else {
         for meta in metas {
-            let got = checkpoint_state(&meta.path);
+            let got = checkpoint_state(&meta);
             let expected = h.journal.state_at(&h.initial, meta.watermark);
             assert_eq!(
                 got.len(),
@@ -343,7 +343,7 @@ fn calc_checkpoint_of_quiet_system_equals_state() {
     let stats = h.strategy.checkpoint(&NoopEnv, &dir).unwrap();
     assert_eq!(stats.records, 50);
     let metas = dir.scan().unwrap();
-    let got = checkpoint_state(&metas[0].path);
+    let got = checkpoint_state(&metas[0]);
     assert_eq!(got, h.initial);
 }
 
@@ -387,7 +387,7 @@ fn consecutive_checkpoints_remain_consistent() {
     assert_eq!(metas.len(), 5);
     // The newest checkpoint reflects the final state.
     let last = metas.last().unwrap();
-    let got = checkpoint_state(&last.path);
+    let got = checkpoint_state(last);
     for k in 0..10u64 {
         assert_eq!(
             got[&Key(k)],
@@ -458,7 +458,7 @@ fn self_insert_preimage_case(partial: bool) {
     // The checkpoint file at `watermark` must not mention the ghost key
     // (neither a value nor a tombstone — it never existed at the point).
     let metas = dir.scan().unwrap();
-    let state = checkpoint_state(&metas.last().unwrap().path);
+    let state = checkpoint_state(metas.last().unwrap());
     assert!(
         !state.contains_key(&ghost),
         "transaction's own uncommitted insert leaked into the checkpoint"
@@ -531,7 +531,7 @@ fn complete_started_insert_case(partial: bool) {
     let stats = h.strategy.checkpoint(&NoopEnv, &dir).unwrap();
     assert!(stats.watermark >= seq);
     let metas = dir.scan().unwrap();
-    let state = checkpoint_state(&metas.last().unwrap().path);
+    let state = checkpoint_state(metas.last().unwrap());
     assert_eq!(
         state.get(&key).map(|v| &v[..]),
         Some(&b"late-insert"[..]),

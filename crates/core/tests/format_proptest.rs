@@ -81,8 +81,8 @@ fn file_format_roundtrips() {
                 Entry::Tombstone(k) => w.write_tombstone(Key(*k)).unwrap(),
             }
         }
-        let (count, _) = w.finish().unwrap();
-        assert_eq!(count as usize, entries.len(), "seed {seed:#x}");
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.records as usize, entries.len(), "seed {seed:#x}");
 
         let r = CheckpointReader::open(&path).unwrap();
         let h = r.header();

@@ -170,6 +170,12 @@ pub struct EngineConfig {
     /// Simulated disk bandwidth in bytes/sec (0 = unlimited). The paper's
     /// disk: ~150 MB/s.
     pub disk_bytes_per_sec: u64,
+    /// Worker threads per checkpoint capture (and recovery load): each
+    /// cycle writes this many part files, striped over the slot space.
+    /// Defaults to `min(store shards, available cores)`; 1 reproduces the
+    /// pre-parts single-writer pipeline (files still go through the
+    /// manifest format, just with one part).
+    pub checkpoint_threads: usize,
     /// Write a full base checkpoint right after initial load (needed by
     /// partial strategies so the recovery chain has a full ancestor).
     pub base_checkpoint: bool,
@@ -210,9 +216,14 @@ impl EngineConfig {
     /// A config for `strategy` with stores sized for `records` of
     /// `record_size` bytes, checkpointing into `dir`.
     pub fn new(strategy: StrategyKind, records: usize, record_size: usize, dir: PathBuf) -> Self {
+        let store = StoreConfig::for_records(records + records / 4 + 1024, record_size);
+        let checkpoint_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(store.shards.max(1));
         EngineConfig {
             strategy,
-            store: StoreConfig::for_records(records + records / 4 + 1024, record_size),
+            store,
             workers: std::thread::available_parallelism()
                 .map(|n| n.get().saturating_sub(1).max(1))
                 .unwrap_or(4),
@@ -220,6 +231,7 @@ impl EngineConfig {
             retain_command_log: false,
             checkpoint_dir: dir,
             disk_bytes_per_sec: 0,
+            checkpoint_threads,
             base_checkpoint: strategy.is_partial(),
             merge_batch: None,
             checkpoint_interval: None,

@@ -163,6 +163,7 @@ impl Inner {
     fn checkpoint_cycle_raw(self: &Arc<Self>) -> io::Result<CheckpointStats> {
         let _serial = self.checkpoint_serial.lock();
         let stats = self.strategy.checkpoint(self.as_ref(), &self.dir)?;
+        self.health.record_parts(stats.parts);
         if self.strategy.partial() {
             let n = self.partials_since_merge.fetch_add(1, Ordering::AcqRel) + 1;
             // A previously failed merge is retried at the next trigger —
@@ -223,6 +224,7 @@ impl Database {
         };
         let dir =
             CheckpointDir::open_with_vfs(&config.checkpoint_dir, Arc::new(throttle), config.vfs.clone())?;
+        dir.set_checkpoint_threads(config.checkpoint_threads);
         // Durable command logging: a dedicated thread drains commit
         // records and group-commits them (append many, fsync once) — the
         // paper's §1 "logging of transactional input is generally far

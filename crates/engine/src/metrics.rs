@@ -112,6 +112,9 @@ pub struct Health {
     /// Background partial-checkpoint merges that failed.
     merge_failures: AtomicU64,
     last_merge_error: Mutex<Option<String>>,
+    /// Part files written by the most recent checkpoint cycle (0 until
+    /// one completes).
+    last_checkpoint_parts: AtomicU64,
 }
 
 impl Health {
@@ -133,6 +136,7 @@ impl Health {
             cycle_started_nanos: AtomicU64::new(NEVER),
             merge_failures: AtomicU64::new(0),
             last_merge_error: Mutex::new(None),
+            last_checkpoint_parts: AtomicU64::new(0),
         }
     }
 
@@ -167,11 +171,11 @@ impl Health {
         let streak = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
         self.total_failures.fetch_add(1, Ordering::Relaxed);
         *self.last_error.lock() = Some((class, err.to_string()));
-        if class == ErrorClass::Fatal || streak >= self.degraded_after {
-            if !self.degraded.swap(true, Ordering::AcqRel) {
-                self.degraded_entries.fetch_add(1, Ordering::Relaxed);
-                return true;
-            }
+        if (class == ErrorClass::Fatal || streak >= self.degraded_after)
+            && !self.degraded.swap(true, Ordering::AcqRel)
+        {
+            self.degraded_entries.fetch_add(1, Ordering::Relaxed);
+            return true;
         }
         false
     }
@@ -238,6 +242,20 @@ impl Health {
     /// The stalled-cycle budget.
     pub fn watchdog(&self) -> Duration {
         self.watchdog
+    }
+
+    /// Records how many part files the just-completed checkpoint cycle
+    /// wrote (from [`calc_core::strategy::CheckpointStats::parts`]).
+    pub fn record_parts(&self, parts: usize) {
+        self.last_checkpoint_parts
+            .store(parts as u64, Ordering::Relaxed);
+    }
+
+    /// Part files written by the most recent checkpoint cycle (0 before
+    /// the first completes). With `checkpoint_threads = n` this is n for
+    /// every parallel capture; 1 indicates the serial pipeline.
+    pub fn last_checkpoint_parts(&self) -> u64 {
+        self.last_checkpoint_parts.load(Ordering::Relaxed)
     }
 
     /// Background merges that failed.

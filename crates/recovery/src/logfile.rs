@@ -110,39 +110,118 @@ impl CommandLogReader {
     /// be trusted for replay ordering).
     pub fn read_all(mut self) -> io::Result<Vec<CommitRecord>> {
         let mut out = Vec::new();
-        loop {
-            let mut head = [0u8; 8];
-            match self.input.read_exact(&mut head) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e),
-            }
-            let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
-            let expected_crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
-            if !(18..=(1 << 30)).contains(&len) {
-                break; // implausible: torn write
-            }
-            let mut body = vec![0u8; len];
-            match self.input.read_exact(&mut body) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
-                Err(e) => return Err(e),
-            }
-            if crc32(&body) != expected_crc {
-                break;
-            }
-            let seq = CommitSeq(u64::from_le_bytes(body[0..8].try_into().unwrap()));
-            let txn = TxnId(u64::from_le_bytes(body[8..16].try_into().unwrap()));
-            let proc = ProcId(u16::from_le_bytes(body[16..18].try_into().unwrap()));
-            let params: Arc<[u8]> = Arc::from(body[18..].to_vec().into_boxed_slice());
-            out.push(CommitRecord {
-                seq,
-                txn,
-                proc,
-                params,
-            });
+        while let Some(rec) = read_one(&mut self.input)? {
+            out.push(rec);
         }
         Ok(out)
+    }
+}
+
+/// Decodes the next record from `input`. `Ok(None)` on clean EOF, a torn
+/// tail, or a corrupt record (nothing after a bad CRC can be trusted for
+/// replay ordering); `Err` only on real I/O failure.
+fn read_one(input: &mut impl Read) -> io::Result<Option<CommitRecord>> {
+    let mut head = [0u8; 8];
+    match input.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
+    let expected_crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if !(18..=(1 << 30)).contains(&len) {
+        return Ok(None); // implausible: torn write
+    }
+    let mut body = vec![0u8; len];
+    match input.read_exact(&mut body) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if crc32(&body) != expected_crc {
+        return Ok(None);
+    }
+    let seq = CommitSeq(u64::from_le_bytes(body[0..8].try_into().unwrap()));
+    let txn = TxnId(u64::from_le_bytes(body[8..16].try_into().unwrap()));
+    let proc = ProcId(u16::from_le_bytes(body[16..18].try_into().unwrap()));
+    let params: Arc<[u8]> = Arc::from(body[18..].to_vec().into_boxed_slice());
+    Ok(Some(CommitRecord {
+        seq,
+        txn,
+        proc,
+        params,
+    }))
+}
+
+/// Streaming reader: a prefetch thread reads, CRC-checks, and decodes
+/// records ahead of the consumer through a bounded channel, so replay's
+/// single-threaded apply (commit order is mandatory) overlaps with log
+/// I/O instead of waiting for a full up-front [`CommandLogReader::read_all`].
+///
+/// Iteration ends at clean EOF or a torn/corrupt tail — same trust
+/// boundary as `read_all`. A real I/O error is yielded as the final
+/// `Err` item.
+pub struct CommandLogStream {
+    rx: std::sync::mpsc::Receiver<io::Result<CommitRecord>>,
+    prefetcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CommandLogStream {
+    /// Records buffered ahead of the consumer.
+    pub const CHANNEL_DEPTH: usize = 1024;
+
+    /// Opens a command log for streaming on the real filesystem.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        Self::open_with_vfs(&OsVfs, path)
+    }
+
+    /// Opens a command log for streaming through an arbitrary [`Vfs`].
+    /// The open itself is synchronous (a missing file fails here, not on
+    /// the prefetch thread); decoding starts immediately afterwards.
+    pub fn open_with_vfs(vfs: &dyn Vfs, path: &Path) -> io::Result<Self> {
+        let file = vfs.open_read(path)?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(Self::CHANNEL_DEPTH);
+        let prefetcher = std::thread::spawn(move || {
+            let mut input = BufReader::with_capacity(1 << 20, file);
+            loop {
+                match read_one(&mut input) {
+                    Ok(Some(rec)) => {
+                        if tx.send(Ok(rec)).is_err() {
+                            return; // consumer dropped the stream
+                        }
+                    }
+                    Ok(None) => return,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+        });
+        Ok(CommandLogStream {
+            rx,
+            prefetcher: Some(prefetcher),
+        })
+    }
+}
+
+impl Iterator for CommandLogStream {
+    type Item = io::Result<CommitRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.rx.recv().ok()
+    }
+}
+
+impl Drop for CommandLogStream {
+    fn drop(&mut self) {
+        // Disconnect first so a blocked prefetcher's send fails and it
+        // exits; then reap it.
+        let (_tx, dead_rx) = std::sync::mpsc::sync_channel(0);
+        self.rx = dead_rx;
+        if let Some(h) = self.prefetcher.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -227,6 +306,49 @@ mod tests {
             .read_all()
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn stream_matches_read_all_and_stops_at_torn_tail() {
+        let path = tmp("stream");
+        let mut w = CommandLogWriter::create(&path).unwrap();
+        for i in 1..=500u64 {
+            w.append(&rec(i, &i.to_le_bytes())).unwrap();
+        }
+        w.sync().unwrap();
+        let eager = CommandLogReader::open(&path).unwrap().read_all().unwrap();
+        let streamed: Vec<CommitRecord> = CommandLogStream::open(&path)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(streamed.len(), eager.len());
+        assert!(streamed
+            .iter()
+            .zip(&eager)
+            .all(|(a, b)| a.seq == b.seq && a.params == b.params));
+
+        // Tear the tail: the stream ends early, no error item.
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 3]).unwrap();
+        let torn: Vec<_> = CommandLogStream::open(&path).unwrap().collect();
+        assert_eq!(torn.len(), 499);
+        assert!(torn.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn dropping_stream_midway_reaps_prefetcher() {
+        let path = tmp("streamdrop");
+        let mut w = CommandLogWriter::create(&path).unwrap();
+        // More records than the channel holds, so the prefetcher is
+        // blocked on send when the consumer walks away.
+        for i in 1..=(CommandLogStream::CHANNEL_DEPTH as u64 * 3) {
+            w.append(&rec(i, b"x")).unwrap();
+        }
+        w.sync().unwrap();
+        let mut s = CommandLogStream::open(&path).unwrap();
+        let first = s.next().unwrap().unwrap();
+        assert_eq!(first.seq, CommitSeq(1));
+        drop(s); // must not deadlock
     }
 
     #[test]

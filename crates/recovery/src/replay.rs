@@ -1,10 +1,19 @@
 //! Checkpoint loading and deterministic command-log replay.
+//!
+//! Loading is shard-parallel: every part file in the recovery chain is
+//! read and CRC-verified concurrently, entries are bucketed by key hash,
+//! and per-shard merge + store installation run one thread per shard
+//! (part-index stripes are not stable across checkpoints, so recovery
+//! re-shards by key rather than by part). Replay stays single-threaded in
+//! commit order — determinism demands it — but the command log's read,
+//! CRC check, and decode run ahead on a prefetch thread
+//! ([`crate::logfile::CommandLogStream`]).
 
 use std::time::{Duration, Instant};
 
 use calc_common::types::{CommitSeq, Key, Value};
 use calc_core::manifest::CheckpointDir;
-use calc_core::merge::materialize_chain_with_vfs;
+use calc_core::merge::materialize_chain_sharded_with_vfs;
 use calc_core::strategy::CheckpointStrategy;
 use calc_txn::commitlog::CommitRecord;
 use calc_txn::proc::{ProcRegistry, TxnOps};
@@ -60,12 +69,28 @@ impl From<calc_storage::dual::StoreError> for RecoveryError {
     }
 }
 
+/// Per-phase progress breakdown of a recovery run (the fix for replay's
+/// formerly invisible progress: the sim driver prints this).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryStats {
+    /// Reading + CRC-verifying + hash-bucketing the chain's part files.
+    pub part_load: Duration,
+    /// Per-shard last-event-wins merge and store installation.
+    pub merge: Duration,
+    /// Deterministic command-log replay.
+    pub replay: Duration,
+    /// Part files read (legacy single-file checkpoints count as one part).
+    pub parts_loaded: usize,
+    /// Worker threads the load/merge phases ran on.
+    pub threads: usize,
+}
+
 /// What recovery accomplished.
 #[derive(Clone, Debug)]
 pub struct RecoveryOutcome {
     /// Records loaded from checkpoints.
     pub loaded_records: u64,
-    /// Checkpoint files read (1 full + N partials).
+    /// Checkpoints read (1 full + N partials).
     pub checkpoint_files: usize,
     /// The watermark recovery resumed from.
     pub watermark: CommitSeq,
@@ -76,6 +101,8 @@ pub struct RecoveryOutcome {
     pub load_duration: Duration,
     /// Time spent replaying.
     pub replay_duration: Duration,
+    /// Per-phase breakdown.
+    pub stats: RecoveryStats,
 }
 
 /// Serial replay bridge: routes a procedure's data operations straight to
@@ -113,7 +140,10 @@ impl TxnOps for ReplayOps<'_> {
 }
 
 /// Loads the newest recovery chain into a **fresh** strategy instance
-/// (checkpoint-only mode, paper use cases 1–2 of §1).
+/// (checkpoint-only mode, paper use cases 1–2 of §1). Part files load and
+/// merge on `dir.checkpoint_threads()` workers; installation into the
+/// store runs one thread per key-hash shard (disjoint keys, which
+/// [`CheckpointStrategy::load_initial`] permits concurrently).
 pub fn recover_checkpoint_only(
     dir: &CheckpointDir,
     strategy: &dyn CheckpointStrategy,
@@ -124,11 +154,43 @@ pub fn recover_checkpoint_only(
     };
     let watermark = partials.last().map(|p| p.watermark).unwrap_or(full.watermark);
     let files = 1 + partials.len();
-    let state = materialize_chain_with_vfs(dir.vfs().as_ref(), &full, &partials)?;
+    let parts_loaded =
+        full.parts.len() + partials.iter().map(|p| p.parts.len()).sum::<usize>();
+    let threads = dir.checkpoint_threads();
+    let (shards, timing) =
+        materialize_chain_sharded_with_vfs(dir.vfs().as_ref(), &full, &partials, threads)?;
+
+    // Install each shard's sub-map; keys are disjoint across shards.
+    let install_start = Instant::now();
     let mut loaded = 0u64;
-    for (key, value) in &state {
-        strategy.load_initial(*key, value)?;
-        loaded += 1;
+    if shards.len() == 1 {
+        for (key, value) in &shards[0] {
+            strategy.load_initial(*key, value)?;
+            loaded += 1;
+        }
+    } else {
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|shard| {
+                    s.spawn(move || -> Result<u64, RecoveryError> {
+                        let mut n = 0u64;
+                        for (key, value) in shard {
+                            strategy.load_initial(*key, value)?;
+                            n += 1;
+                        }
+                        Ok(n)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("install thread panicked"))
+                .collect::<Vec<_>>()
+        });
+        for r in results {
+            loaded += r?;
+        }
     }
     Ok(RecoveryOutcome {
         loaded_records: loaded,
@@ -137,7 +199,60 @@ pub fn recover_checkpoint_only(
         replayed: 0,
         load_duration: start.elapsed(),
         replay_duration: Duration::ZERO,
+        stats: RecoveryStats {
+            part_load: timing.read,
+            merge: timing.merge + install_start.elapsed(),
+            replay: Duration::ZERO,
+            parts_loaded,
+            threads,
+        },
     })
+}
+
+fn replay_record(
+    strategy: &dyn CheckpointStrategy,
+    registry: &ProcRegistry,
+    rec: &CommitRecord,
+) -> Result<(), RecoveryError> {
+    let proc = registry
+        .get(rec.proc)
+        .ok_or(RecoveryError::UnknownProcedure(rec.proc.0))?;
+    let mut ops = ReplayOps {
+        strategy,
+        token: strategy.txn_begin(),
+        failed: None,
+    };
+    let result = proc.run(&rec.params, &mut ops);
+    let ReplayOps {
+        mut token, failed, ..
+    } = ops;
+    match (result, failed) {
+        (Ok(()), None) => {
+            // Replay does not re-append to a commit log, but the commit
+            // stamp must be the strategy's CURRENT stamp (not a
+            // hardcoded cycle 0): partial strategies dirty-mark the
+            // stamp's checkpoint interval, and if the caller has already
+            // resumed the id space past the pre-crash files, marks in a
+            // stale interval would leave the next partial checkpoint
+            // missing every replayed write while its watermark claims
+            // to cover them — silent data loss on the next crash.
+            let stamp = token.stamp;
+            strategy.on_commit(&mut token, rec.seq, stamp);
+            strategy.txn_end(token);
+            Ok(())
+        }
+        (Err(e), _) => {
+            // A deterministic abort also happened (identically) before
+            // the crash, so the original never committed… except it IS
+            // in the commit log. Divergence.
+            strategy.txn_end(token);
+            Err(RecoveryError::ReplayDiverged(format!("{}: {e}", rec.txn)))
+        }
+        (Ok(()), Some(msg)) => {
+            strategy.txn_end(token);
+            Err(RecoveryError::ReplayDiverged(format!("{}: {msg}", rec.txn)))
+        }
+    }
 }
 
 /// Full recovery: load the newest chain, then deterministically replay
@@ -149,56 +264,33 @@ pub fn recover(
     registry: &ProcRegistry,
     commands: &[CommitRecord],
 ) -> Result<RecoveryOutcome, RecoveryError> {
+    recover_streamed(dir, strategy, registry, commands.iter().cloned().map(Ok))
+}
+
+/// [`recover`] over a streaming command source — pair with
+/// [`crate::logfile::CommandLogStream`] so log read/CRC/decode runs on
+/// the prefetch thread while this thread applies in commit order.
+pub fn recover_streamed(
+    dir: &CheckpointDir,
+    strategy: &dyn CheckpointStrategy,
+    registry: &ProcRegistry,
+    commands: impl IntoIterator<Item = std::io::Result<CommitRecord>>,
+) -> Result<RecoveryOutcome, RecoveryError> {
     if !strategy.transaction_consistent() {
         return Err(RecoveryError::NotTransactionConsistent(strategy.name()));
     }
     let mut outcome = recover_checkpoint_only(dir, strategy)?;
     let replay_start = Instant::now();
     for rec in commands {
+        let rec = rec?;
         if rec.seq <= outcome.watermark {
             continue; // already reflected in the checkpoint
         }
-        let proc = registry
-            .get(rec.proc)
-            .ok_or(RecoveryError::UnknownProcedure(rec.proc.0))?;
-        let mut ops = ReplayOps {
-            strategy,
-            token: strategy.txn_begin(),
-            failed: None,
-        };
-        let result = proc.run(&rec.params, &mut ops);
-        let ReplayOps {
-            mut token, failed, ..
-        } = ops;
-        match (result, failed) {
-            (Ok(()), None) => {
-                // Replay does not re-append to a commit log, but the commit
-                // stamp must be the strategy's CURRENT stamp (not a
-                // hardcoded cycle 0): partial strategies dirty-mark the
-                // stamp's checkpoint interval, and if the caller has already
-                // resumed the id space past the pre-crash files, marks in a
-                // stale interval would leave the next partial checkpoint
-                // missing every replayed write while its watermark claims
-                // to cover them — silent data loss on the next crash.
-                let stamp = token.stamp;
-                strategy.on_commit(&mut token, rec.seq, stamp);
-                strategy.txn_end(token);
-                outcome.replayed += 1;
-            }
-            (Err(e), _) => {
-                // A deterministic abort also happened (identically) before
-                // the crash, so the original never committed… except it IS
-                // in the commit log. Divergence.
-                strategy.txn_end(token);
-                return Err(RecoveryError::ReplayDiverged(format!("{}: {e}", rec.txn)));
-            }
-            (Ok(()), Some(msg)) => {
-                strategy.txn_end(token);
-                return Err(RecoveryError::ReplayDiverged(format!("{}: {msg}", rec.txn)));
-            }
-        }
+        replay_record(strategy, registry, &rec)?;
+        outcome.replayed += 1;
     }
     outcome.replay_duration = replay_start.elapsed();
+    outcome.stats.replay = outcome.replay_duration;
     Ok(outcome)
 }
 
@@ -325,14 +417,17 @@ mod tests {
         assert_eq!(recovered.record_count(), primary.record_count());
     }
 
-    /// ISSUE satellite: when the newest full checkpoint is corrupt on
-    /// disk, recovery must quarantine it and fall back to the previous
-    /// full, paying with a longer command-log replay — and lose nothing.
+    /// ISSUE satellite: a torn write on ONE part of the newest full
+    /// checkpoint must quarantine the WHOLE cycle (every part plus its
+    /// manifest — a partially-valid part set is not a checkpoint) and
+    /// fall back to the previous full, paying with a longer command-log
+    /// replay — and lose nothing.
     #[test]
-    fn corrupt_latest_full_falls_back_to_previous_full() {
+    fn torn_part_quarantines_cycle_and_falls_back_to_previous_full() {
         let log = Arc::new(CommitLog::new(true));
         let primary = CalcStrategy::full(StoreConfig::for_records(256, 16), log.clone());
-        let d = dir("corruptfull");
+        let d = dir("tornpart");
+        d.set_checkpoint_threads(4);
 
         for k in 0..10 {
             run_set(&primary, &log, k, k * 2);
@@ -341,18 +436,17 @@ mod tests {
         for k in 10..15 {
             run_set(&primary, &log, k, 1000 + k);
         }
-        primary.checkpoint(&NoopEnv, &d).unwrap();
+        let second = primary.checkpoint(&NoopEnv, &d).unwrap();
+        assert_eq!(second.parts, 4);
         for k in 15..18 {
             run_set(&primary, &log, k, 2000 + k);
         }
 
-        // Corrupt the newest full's body (bit-rot past the header); its
-        // checksum no longer verifies.
-        let newest = d.path().join("ckpt-0000000001-full.calc");
-        let mut bytes = std::fs::read(&newest).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xFF;
-        std::fs::write(&newest, &bytes).unwrap();
+        // Tear one part of the newest full: drop its tail (footer and
+        // some records gone) — as if the disk lost the unsynced end.
+        let torn = d.path().join("ckpt-0000000001-full.part-2");
+        let bytes = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
 
         let mut registry = ProcRegistry::new();
         registry.register(Arc::new(SetProc));
@@ -363,18 +457,23 @@ mod tests {
         let commands = log.commits_after(CommitSeq::ZERO);
         let outcome = recover(&d, &recovered, &registry, &commands).unwrap();
 
-        // Fell back to full #1: 10 loaded records, the older watermark,
-        // and the 8 post-#1 transactions recovered via replay instead.
+        // Fell back to full #0: 10 loaded records, the older watermark,
+        // and the 8 post-#0 transactions recovered via replay instead.
         assert_eq!(outcome.loaded_records, 10);
         assert_eq!(outcome.watermark, first.watermark);
         assert_eq!(outcome.replayed, 8);
-        assert_eq!(d.quarantined_count(), 1);
-        assert!(
-            d.path()
-                .join("ckpt-0000000001-full.calc.quarantine")
-                .exists(),
-            "corrupt file not set aside"
-        );
+        // The whole cycle is set aside: 4 parts + the manifest, including
+        // the three parts whose own checksums were fine.
+        assert_eq!(d.quarantined_count(), 5);
+        for name in [
+            "ckpt-0000000001-full.manifest.quarantine",
+            "ckpt-0000000001-full.part-0.quarantine",
+            "ckpt-0000000001-full.part-1.quarantine",
+            "ckpt-0000000001-full.part-2.quarantine",
+            "ckpt-0000000001-full.part-3.quarantine",
+        ] {
+            assert!(d.path().join(name).exists(), "{name} not set aside");
+        }
         for k in 0..18u64 {
             assert_eq!(
                 recovered.get(Key(k)),
@@ -383,6 +482,39 @@ mod tests {
             );
         }
         assert_eq!(recovered.record_count(), primary.record_count());
+    }
+
+    /// Checkpoints written by the pre-parts single-file format must keep
+    /// recovering (the legacy `.calc` path through the same sharded
+    /// loader).
+    #[test]
+    fn legacy_single_file_chain_recovers() {
+        use calc_core::file::CheckpointKind;
+        let d = dir("legacy");
+        d.set_checkpoint_threads(4);
+        let mut p = d.begin(CheckpointKind::Full, 0, CommitSeq(10)).unwrap();
+        for k in 0..50u64 {
+            p.writer().write_record(Key(k), &k.to_le_bytes()).unwrap();
+        }
+        p.publish().unwrap();
+        let mut p = d.begin(CheckpointKind::Partial, 1, CommitSeq(20)).unwrap();
+        p.writer().write_tombstone(Key(7)).unwrap();
+        p.writer().write_record(Key(3), b"patched").unwrap();
+        p.publish().unwrap();
+        assert!(d.path().join("ckpt-0000000000-full.calc").exists());
+
+        let recovered = CalcStrategy::full(
+            StoreConfig::for_records(256, 16),
+            Arc::new(CommitLog::new(false)),
+        );
+        let outcome = recover_checkpoint_only(&d, &recovered).unwrap();
+        assert_eq!(outcome.loaded_records, 49);
+        assert_eq!(outcome.stats.parts_loaded, 2, "one part per legacy file");
+        assert_eq!(outcome.stats.threads, 4);
+        assert_eq!(outcome.watermark, CommitSeq(20));
+        assert!(recovered.get(Key(7)).is_none());
+        assert_eq!(recovered.get(Key(3)).as_deref(), Some(&b"patched"[..]));
+        assert_eq!(recovered.get(Key(42)), Some(42u64.to_le_bytes().into()));
     }
 
     #[test]

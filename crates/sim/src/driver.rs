@@ -35,8 +35,8 @@ use calc_core::manifest::CheckpointDir;
 use calc_core::strategy::{CheckpointStrategy, NoopEnv, TxnToken};
 use calc_core::throttle::Throttle;
 use calc_engine::{classify, ErrorClass, StrategyKind};
-use calc_recovery::logfile::{CommandLogReader, CommandLogWriter};
-use calc_recovery::replay::{recover, RecoveryError};
+use calc_recovery::logfile::{CommandLogReader, CommandLogStream, CommandLogWriter};
+use calc_recovery::replay::{recover_streamed, RecoveryError};
 use calc_storage::dual::StoreConfig;
 use calc_txn::commitlog::{CommitLog, CommitRecord, PhaseStamp};
 use calc_txn::proc::TxnOps;
@@ -63,10 +63,16 @@ pub enum TransientPlan {
     EveryCheckpoint {
         /// What kind of transient error the window injects.
         kind: TransientKind,
-        /// Window length in data ops. With `WriteError`, `2` makes each
-        /// cycle fail exactly once: the capture's `create` passes (but
-        /// consumes an index), its first write fails, and the retry
-        /// starts past the window.
+        /// Data ops to let through before the window opens. `0` hits the
+        /// first part file's create/header; larger values reach past
+        /// `begin_parts` into the capture's record writes, so with
+        /// multi-part cycles the error lands on an arbitrary part `k`
+        /// while the other capture workers are mid-write.
+        skip: u64,
+        /// Window length in data ops. With `WriteError` and `skip: 0`,
+        /// `2` makes each cycle fail exactly once: the capture's
+        /// `create` passes (but consumes an index), its first write
+        /// fails, and the retry starts past the window.
         count: u64,
     },
 }
@@ -90,6 +96,10 @@ pub struct SimSpec {
     pub dir_crash_mode: DirCrashMode,
     /// Transient I/O error injection, if any.
     pub transient: Option<TransientPlan>,
+    /// Part files (and capture/load threads) per checkpoint. `None`
+    /// reads `CKPT_THREADS` from the environment (default 1), so one
+    /// sweep binary covers both the single-part and multi-part pipelines.
+    pub ckpt_threads: Option<usize>,
     /// Retries per checkpoint cycle before giving up on that cycle
     /// (degraded: the run continues on the command log alone).
     pub ckpt_retries: u32,
@@ -108,6 +118,7 @@ impl SimSpec {
             sync_every: 8,
             dir_crash_mode: DirCrashMode::Seeded,
             transient: None,
+            ckpt_threads: None,
             ckpt_retries: 3,
         }
     }
@@ -213,7 +224,18 @@ fn store_config() -> StoreConfig {
     StoreConfig::for_records(1024, 64)
 }
 
+/// Part files (and capture/load threads) per checkpoint; `CKPT_THREADS=n`
+/// sweeps the multi-part pipeline through the whole fault matrix.
+fn ckpt_threads_from_env() -> usize {
+    std::env::var("CKPT_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
 /// Runs one crash experiment end to end. `Ok` means the oracle held.
+#[allow(clippy::result_large_err)] // violations are terminal and rare; no point boxing
 pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
     let vfs = match spec.fault {
         Some(f) => SimVfs::with_fault(spec.seed, f),
@@ -243,6 +265,7 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
             Ok(d) => d,
             Err(_) => break 'live,
         };
+        dir.set_checkpoint_threads(spec.ckpt_threads.unwrap_or_else(ckpt_threads_from_env));
         let mut cmdlog = match CommandLogWriter::create_with_vfs(&vfs, &log_path) {
             Ok(w) => w,
             Err(_) => break 'live,
@@ -301,10 +324,10 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
                 }
             }
             if (i + 1) % spec.checkpoint_every == 0 {
-                if let Some(TransientPlan::EveryCheckpoint { kind, count }) = spec.transient {
+                if let Some(TransientPlan::EveryCheckpoint { kind, skip, count }) = spec.transient {
                     vfs.arm_transient(TransientSpec {
                         kind,
-                        from: vfs.counts().data_ops(),
+                        from: vfs.counts().data_ops() + skip,
                         count,
                     });
                 }
@@ -365,6 +388,7 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
         vfs_dyn.clone(),
     )
     .map_err(|e| violation(spec, format!("reopening checkpoint dir after crash: {e}")))?;
+    dir.set_checkpoint_threads(spec.ckpt_threads.unwrap_or_else(ckpt_threads_from_env));
     let commands = match CommandLogReader::open_with_vfs(&vfs, &log_path) {
         Ok(r) => r
             .read_all()
@@ -381,8 +405,59 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
 
     let fresh = spec.kind.build(store_config(), Arc::new(CommitLog::new(false)));
     let log_tail = commands.last().map(|c| c.seq.0).unwrap_or(0);
-    let recovered_prefix = match recover(&dir, fresh.as_ref(), &reg, &commands) {
-        Ok(outcome) => outcome.watermark.0.max(log_tail),
+    if std::env::var("SIM_DEBUG").is_ok() {
+        eprintln!("[sim-debug] post-crash dir listing:");
+        if let Ok(names) = vfs.read_dir(&ckpt_dir) {
+            for n in names {
+                eprintln!("[sim-debug]   {}", n.display());
+            }
+        }
+        match dir.scan() {
+            Ok(metas) => {
+                for m in &metas {
+                    eprintln!(
+                        "[sim-debug] scan: id={} kind={:?} watermark={} parts={} read_all={:?}",
+                        m.id,
+                        m.kind,
+                        m.watermark.0,
+                        m.parts.len(),
+                        m.read_all_with_vfs(&vfs).map(|e| e.len())
+                    );
+                }
+            }
+            Err(e) => eprintln!("[sim-debug] scan error: {e}"),
+        }
+        eprintln!(
+            "[sim-debug] quarantined={} log_tail={} commands={}",
+            dir.quarantined_count(),
+            log_tail,
+            commands.len()
+        );
+    }
+    // Recovery replays through the streaming reader (log decode + CRC on
+    // the prefetch thread, apply in commit order here), exercising the
+    // same pipelined path the engine uses. The eager `commands` read
+    // above is the oracle's reference copy.
+    let streamed = match CommandLogStream::open_with_vfs(&vfs, &log_path) {
+        Ok(stream) => recover_streamed(&dir, fresh.as_ref(), &reg, stream),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            recover_streamed(&dir, fresh.as_ref(), &reg, std::iter::empty())
+        }
+        Err(e) => return Err(violation(spec, format!("opening command log stream: {e}"))),
+    };
+    let recovered_prefix = match streamed {
+        Ok(outcome) => {
+            if std::env::var("SIM_RECOVERY_STATS").is_ok() {
+                let s = outcome.stats;
+                eprintln!(
+                    "[sim] recovery[{}]: parts_loaded={} threads={} part_load={:?} merge={:?} \
+                     replay={:?} replayed={}",
+                    spec.kind, s.parts_loaded, s.threads, s.part_load, s.merge, s.replay,
+                    outcome.replayed
+                );
+            }
+            outcome.watermark.0.max(log_tail)
+        }
         Err(RecoveryError::NotTransactionConsistent(_)) => {
             if matches!(spec.kind, StrategyKind::Fuzzy | StrategyKind::PFuzzy) {
                 // For fuzzy checkpointing the refusal IS the oracle: a
@@ -464,6 +539,7 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
     })
 }
 
+#[allow(clippy::result_large_err)]
 fn check_state_equals(
     spec: &SimSpec,
     strategy: &dyn CheckpointStrategy,

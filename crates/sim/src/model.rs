@@ -84,7 +84,7 @@ mod tests {
         ];
         assert_eq!(model_at(&committed, 0).len(), 0);
         assert_eq!(model_at(&committed, 2).len(), 2);
-        assert!(model_at(&committed, 3).get(&5).is_none());
+        assert!(!model_at(&committed, 3).contains_key(&5));
         assert_eq!(model_at(&committed, 4).get(&5).unwrap(), b"c");
         // A prefix bound between commit seqs (e.g. a phase-transition
         // token's sequence) is fine: it includes everything at or below.

@@ -48,6 +48,7 @@ fn pcalc_every_capture_fails_once_then_crash_loses_nothing() {
     let mut spec = SimSpec::smoke(StrategyKind::PCalc, fault_seed());
     spec.transient = Some(TransientPlan::EveryCheckpoint {
         kind: TransientKind::WriteError,
+        skip: 0,
         count: 2,
     });
     let report = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
@@ -74,11 +75,51 @@ fn calc_every_capture_fails_once_then_crash_loses_nothing() {
     let mut spec = SimSpec::smoke(StrategyKind::Calc, fault_seed() ^ 0x10);
     spec.transient = Some(TransientPlan::EveryCheckpoint {
         kind: TransientKind::WriteError,
+        skip: 0,
         count: 2,
     });
     let report = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
     assert!(report.ckpt_failures >= 4, "windows never fired: {report:?}");
     assert_eq!(report.committed, spec.txns);
+}
+
+/// The multi-part regression pinned by the ISSUE acceptance criteria: a
+/// transient write error landing on one part `k` *mid-capture* (the
+/// other capture workers are already writing their own stripes) must
+/// abort the whole cycle and roll the dirty bits of **every** shard
+/// forward — not just the failing part's stripe. A strategy that only
+/// restored the failing stripe would pass at `threads=1` and silently
+/// lose the other stripes' keys at `threads=4`; the oracle catches that
+/// as a divergence after the crash. The failure accounting must be
+/// identical at every thread count.
+#[test]
+fn pcalc_part_failure_mid_capture_rolls_every_shard_forward() {
+    // `skip: 9` reaches past `begin_parts` (part creates + headers) into
+    // the capture's record/footer writes at both thread counts, so the
+    // error hits an arbitrary in-flight part rather than the first
+    // create.
+    for threads in [1usize, 4] {
+        let mut spec = SimSpec::smoke(StrategyKind::PCalc, fault_seed() ^ 0x9A);
+        spec.ckpt_threads = Some(threads);
+        spec.transient = Some(TransientPlan::EveryCheckpoint {
+            kind: TransientKind::WriteError,
+            skip: 9,
+            count: 2,
+        });
+        let report = run_sim(&spec).unwrap_or_else(|v| panic!("threads={threads}: {v}"));
+        assert_eq!(
+            report.ckpt_failures, 4,
+            "threads={threads}: expected exactly one failed attempt per cycle: {report:?}"
+        );
+        assert!(
+            report.aborted_cycles >= 4,
+            "threads={threads}: strategy did not roll back the failed cycles: {report:?}"
+        );
+        assert_eq!(
+            report.committed, spec.txns,
+            "threads={threads}: failed cycles must be harmless"
+        );
+    }
 }
 
 /// Sweeps transient windows (write errors and ENOSPC) over several
@@ -135,6 +176,7 @@ fn every_checkpoint_fails_once_all_strategies() {
         let mut spec = SimSpec::smoke(kind, seed ^ ((i as u64) << 4));
         spec.transient = Some(TransientPlan::EveryCheckpoint {
             kind: TransientKind::WriteError,
+            skip: 0,
             count: 2,
         });
         let report = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));
@@ -180,6 +222,7 @@ fn enospc_exhausts_retries_then_degrades() {
         // then kills a later command-log append, which is the crash.
         spec.transient = Some(TransientPlan::EveryCheckpoint {
             kind: TransientKind::Enospc,
+            skip: 0,
             count: 1 << 20,
         });
         let report = run_sim(&spec).unwrap_or_else(|v| panic!("{v}"));

@@ -7,6 +7,7 @@
 //! `calc_common::rng::SplitMix` — fully deterministic per seed, with the
 //! failing seed printed on assertion failure.
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 use calc_common::rng::SplitMix;
@@ -63,11 +64,14 @@ fn dual_store_matches_model() {
             match op {
                 Op::Insert(k, v) => {
                     let r = store.insert(Key(k as u64), &v);
-                    if model.contains_key(&(k as u64)) {
-                        assert!(r.is_err(), "seed {seed:#x}: duplicate insert accepted");
-                    } else {
-                        assert!(r.is_ok(), "seed {seed:#x}: fresh insert rejected");
-                        model.insert(k as u64, v);
+                    match model.entry(k as u64) {
+                        Entry::Occupied(_) => {
+                            assert!(r.is_err(), "seed {seed:#x}: duplicate insert accepted")
+                        }
+                        Entry::Vacant(e) => {
+                            assert!(r.is_ok(), "seed {seed:#x}: fresh insert rejected");
+                            e.insert(v);
+                        }
                     }
                 }
                 Op::Update(k, v) => {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Non-gating benchmark smoke: builds the shard-parallel pipeline bench in
+# release mode and emits BENCH_pipeline.json at the repo root (throughput,
+# checkpoint cycle duration, recovery time — serial vs. 4-thread capture).
+#
+# Knobs (forwarded to the bench binary):
+#   BENCH_OUT      output path           (default BENCH_pipeline.json)
+#   BENCH_RECORDS  section-1 store size  (default 500000)
+#   BENCH_SMOKE_MS per-strategy run ms   (default 1200)
+#
+# Numbers from this script are informational — CI never gates on them.
+# On a single-core host the 4-thread capture only overlaps I/O, so the
+# speedup column can be flat; read it together with the "cores" field.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BENCH_OUT="${BENCH_OUT:-BENCH_pipeline.json}"
+
+echo "== bench smoke: building release pipeline bench =="
+cargo build --release --package calc-bench --bin pipeline
+
+echo "== bench smoke: running (out: ${BENCH_OUT}) =="
+./target/release/pipeline
+
+echo "== bench smoke: done =="

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Full verification gate: tier-1 (build + every workspace test), tier-2
-# (the deterministic crash-simulation suite in calc-sim, including the
-# 64-seed smoke sweep), and tier-3 (the concurrency conformance suite in
-# calc-conform at three fixed base seeds). Any failure panics with the
-# exact replayable spec, reproducible via e.g.:
+# Full verification gate: tier-0 (clippy, deny warnings), tier-1 (build +
+# every workspace test), tier-2 (the deterministic crash-simulation suite
+# in calc-sim, including the 64-seed smoke sweep), tier-3 (the concurrency
+# conformance suite in calc-conform at three fixed base seeds), and tier-4
+# (the transient-fault sweep, run serially and again with 4-way parallel
+# checkpoint capture). Any failure panics with the exact replayable spec,
+# reproducible via e.g.:
 #
 #   SIM_SEED=0xdeadbeef cargo test -p calc-sim
 #   CONFORM_SEED=0xc0f020260000 cargo verify-conform
@@ -12,6 +14,9 @@
 # overriding CONFORM_SEED replays the whole suite shifted to that base.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== tier-0: clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 echo "== tier-1: release build =="
 cargo build --release --workspace --quiet
@@ -33,5 +38,9 @@ for seed in 0xFA175EED00000000 0xBADD15C000000001 0x0E05BC0000000002; do
     echo "  -- FAULT_SEED=${seed}"
     FAULT_SEED="${seed}" cargo test --package calc-sim --test fault_sweep --quiet
 done
+
+echo "== tier-4: transient-fault sweep, 4-way parallel capture =="
+CKPT_THREADS=4 SIM_RECOVERY_STATS=1 \
+    cargo test --package calc-sim --test fault_sweep --quiet
 
 echo "verify: all gates green"

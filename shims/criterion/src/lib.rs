@@ -181,14 +181,9 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

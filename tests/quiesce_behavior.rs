@@ -134,10 +134,7 @@ fn calc_virtual_point_lands_after_rest_started_straggler() {
 
     let expected = spin::spin(1, iters); // the long txn's deterministic write
     let metas = db.checkpoint_dir().scan().unwrap();
-    let entries = calc_db::core::file::CheckpointReader::open(&metas[0].path)
-        .unwrap()
-        .read_all()
-        .unwrap();
+    let entries = metas[0].read_all().unwrap();
     let captured = entries
         .iter()
         .find_map(|e| match e {
