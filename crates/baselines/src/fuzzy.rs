@@ -384,6 +384,7 @@ impl CheckpointStrategy for FuzzyStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce,
             parts: summary.parts,
@@ -426,6 +427,7 @@ impl CheckpointStrategy for FuzzyStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
             parts: summary.parts,

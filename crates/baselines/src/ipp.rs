@@ -310,6 +310,7 @@ impl CheckpointStrategy for IppStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce,
             parts: summary.parts,
@@ -347,6 +348,7 @@ impl CheckpointStrategy for IppStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
             parts: summary.parts,

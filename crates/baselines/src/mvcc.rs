@@ -409,6 +409,8 @@ impl CheckpointStrategy for MvccStrategy {
             watermark,
             records,
             bytes,
+            // Legacy single-file publish reports no raw size.
+            raw_bytes: bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
             parts: 1,

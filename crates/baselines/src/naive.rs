@@ -268,6 +268,7 @@ impl CheckpointStrategy for NaiveStrategy {
         let mut summary = PublishSummary {
             records: 0,
             bytes: 0,
+            raw_bytes: 0,
             parts: 0,
         };
         let mut watermark = CommitSeq::ZERO;
@@ -340,6 +341,7 @@ impl CheckpointStrategy for NaiveStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce,
             parts: summary.parts,
@@ -357,6 +359,7 @@ impl CheckpointStrategy for NaiveStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce: Duration::ZERO,
             parts: summary.parts,

@@ -326,6 +326,7 @@ impl CheckpointStrategy for ZigzagStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce,
             parts: summary.parts,
@@ -363,6 +364,7 @@ impl CheckpointStrategy for ZigzagStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
             parts: summary.parts,

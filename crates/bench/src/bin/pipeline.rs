@@ -12,6 +12,10 @@
 //! 3. **per-strategy smoke** — a small fixed-duration micro run for each
 //!    of the ten checkpointing strategies: throughput, mean checkpoint
 //!    cycle duration, parts per cycle.
+//! 4. **disk footprint** (ISSUE 6) — the same 500k-record store captured
+//!    and recovered under every codec (compressed vs. raw bytes, ratio,
+//!    recovery time), plus a segmented command-log run with truncation at
+//!    a moving watermark showing disk use stays bounded.
 //!
 //! Environment knobs: `BENCH_OUT` (output path, default
 //! `BENCH_pipeline.json`), `BENCH_RECORDS` (default 500_000),
@@ -22,14 +26,20 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use calc_bench::runner::{self, RunSpec, WorkloadSpec};
+use calc_common::types::{CommitSeq, TxnId};
+use calc_common::vfs::{OsVfs, Vfs};
 use calc_core::calc::CalcStrategy;
 use calc_core::manifest::CheckpointDir;
 use calc_core::strategy::{CheckpointStrategy, NoopEnv};
 use calc_core::throttle::Throttle;
+use calc_core::Codec;
 use calc_engine::StrategyKind;
+use calc_recovery::logfile::{list_segments, SegmentedLogWriter};
 use calc_recovery::replay::recover_checkpoint_only;
+use calc_recovery::truncate_segments_below;
 use calc_storage::dual::StoreConfig;
-use calc_txn::commitlog::CommitLog;
+use calc_txn::commitlog::{CommitLog, CommitRecord};
+use calc_txn::proc::ProcId;
 use calc_workload::micro::MicroConfig;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -210,6 +220,80 @@ fn main() {
         ));
     }
 
+    // ---- Section 4: disk footprint — compression ratio plus segmented-log
+    // retention, the ISSUE 6 additions. The same 500k-record store is
+    // checkpointed under each codec (4 capture threads) and recovered, so
+    // the bytes and recovery times are directly comparable.
+    let mut footprint = Vec::new();
+    for codec in Codec::ALL {
+        eprintln!("pipeline: footprint capture+recover with codec={codec}…");
+        let dir = CheckpointDir::open(
+            &root.join(format!("footprint-{codec}")),
+            Arc::new(Throttle::unlimited()),
+        )
+        .expect("open footprint dir");
+        dir.set_checkpoint_threads(4);
+        dir.set_codec(codec);
+        let start = Instant::now();
+        let stats = strategy
+            .checkpoint(&NoopEnv, &dir)
+            .expect("footprint checkpoint");
+        let capture = start.elapsed();
+        let fresh = CalcStrategy::full(
+            StoreConfig::for_records(records as usize + records as usize / 4 + 1024, 64),
+            Arc::new(CommitLog::new(false)),
+        );
+        let start = Instant::now();
+        let outcome = recover_checkpoint_only(&dir, &fresh).expect("footprint recover");
+        let recovery = start.elapsed();
+        assert_eq!(outcome.loaded_records, records, "footprint recovery lost records");
+        footprint.push((codec.name(), ms(capture), stats.bytes, stats.raw_bytes, ms(recovery)));
+    }
+    assert!(
+        footprint.iter().any(|f| f.0 == "rle" && f.2 < f.3),
+        "rle checkpoint must be smaller than its raw stream"
+    );
+
+    // Segmented command log with truncation at a moving durable watermark:
+    // disk use stays bounded near one segment while records keep flowing.
+    eprintln!("pipeline: footprint segmented-log retention…");
+    let log_dir = root.join("footprint-log");
+    let vfs: Arc<dyn Vfs> = Arc::new(OsVfs);
+    let mut log = SegmentedLogWriter::create(vfs.clone(), &log_dir, 64 << 10)
+        .expect("create segmented log");
+    let params: Arc<[u8]> = vec![0u8; 100].into();
+    let appended = 8_000u64;
+    let mut segments_truncated = 0u64;
+    let mut log_bytes_truncated = 0u64;
+    for seq in 1..=appended {
+        log.append(&CommitRecord {
+            seq: CommitSeq(seq),
+            txn: TxnId(seq),
+            proc: ProcId(1),
+            params: params.clone(),
+        })
+        .expect("append log record");
+        if seq % 2_000 == 0 {
+            log.sync().expect("sync log");
+            let t = truncate_segments_below(vfs.as_ref(), &log_dir, CommitSeq(seq))
+                .expect("truncate log");
+            segments_truncated += t.removed;
+            log_bytes_truncated += t.bytes;
+        }
+    }
+    log.sync().expect("final sync");
+    let segments_written = log.rotations() + 1;
+    let live_log_bytes: u64 = list_segments(vfs.as_ref(), &log_dir)
+        .expect("list segments")
+        .iter()
+        .map(|(_, p)| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    assert!(segments_truncated > 0, "retention never truncated a segment");
+    assert!(
+        live_log_bytes < log_bytes_truncated,
+        "live log ({live_log_bytes} B) not bounded below truncated volume"
+    );
+
     // ---- Emit JSON (hand-rolled; every value is a number or plain name).
     let mut json = String::new();
     json.push_str("{\n");
@@ -251,7 +335,31 @@ fn main() {
             if i + 1 < smoke.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"disk_footprint\": {\n");
+    json.push_str("    \"codecs\": [\n");
+    for (i, (name, capture_ms, bytes, raw_bytes, recovery_ms)) in footprint.iter().enumerate() {
+        let ratio = if *bytes > 0 {
+            *raw_bytes as f64 / *bytes as f64
+        } else {
+            1.0
+        };
+        json.push_str(&format!(
+            "      {{\"codec\": \"{name}\", \"capture_ms\": {capture_ms:.3}, \
+             \"bytes\": {bytes}, \"raw_bytes\": {raw_bytes}, \"ratio\": {ratio:.3}, \
+             \"recovery_ms\": {recovery_ms:.3}}}{}\n",
+            if i + 1 < footprint.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"log_retention\": {{\"appended_records\": {appended}, \
+         \"segments_written\": {segments_written}, \
+         \"segments_truncated\": {segments_truncated}, \
+         \"log_bytes_truncated\": {log_bytes_truncated}, \
+         \"live_log_bytes\": {live_log_bytes}}}\n"
+    ));
+    json.push_str("  }\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     eprintln!("pipeline: wrote {}", out_path.display());
     println!("{json}");

@@ -217,6 +217,7 @@ impl CalcStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
             parts: summary.parts,
@@ -372,6 +373,7 @@ impl CalcStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
             parts: summary.parts,
@@ -537,6 +539,7 @@ impl CalcStrategy {
             watermark,
             records: summary.records,
             bytes: summary.bytes,
+            raw_bytes: summary.raw_bytes,
             duration: start.elapsed(),
             quiesce: std::time::Duration::ZERO,
             parts: summary.parts,

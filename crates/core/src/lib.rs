@@ -16,7 +16,9 @@
 //!   both full and partial (pCALC, §2.3) modes.
 //! * [`file`] — the checkpoint file format: length-prefixed records with
 //!   tombstones, CRC-32-sealed footer (a crash mid-capture leaves a
-//!   detectably-invalid file).
+//!   detectably-invalid file), optionally block-compressed ([`codec`]).
+//! * [`codec`] — block codecs for compressed checkpoint parts (in-tree
+//!   RLE; `none` keeps the legacy format byte-identical).
 //! * [`throttle`] — a token-bucket byte throttle modelling the evaluation
 //!   machine's 100–150 MB/s disk (Appendix A notes checkpoint duration is
 //!   disk-bandwidth-bound; the throttle reproduces that regime).
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod calc;
+pub mod codec;
 pub mod file;
 pub mod manifest;
 pub mod merge;
@@ -42,6 +45,7 @@ pub mod strategy;
 pub mod throttle;
 
 pub use calc::CalcStrategy;
+pub use codec::Codec;
 pub use file::{CheckpointKind, CheckpointReader, CheckpointWriter, PartSummary, RecordEntry};
 pub use manifest::{CheckpointDir, CheckpointMeta, PartMeta, PublishSummary};
 pub use partition::{capture_parts, ShardPartition};

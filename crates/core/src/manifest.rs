@@ -28,23 +28,32 @@
 
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use calc_common::crc::crc32;
 use calc_common::types::CommitSeq;
 use calc_common::vfs::{OsVfs, Vfs};
 
+use crate::codec::Codec;
 use crate::file::{CheckpointKind, CheckpointReader, CheckpointWriter, RecordEntry};
 use crate::throttle::Throttle;
 
 const MANIFEST_MAGIC: &[u8; 8] = b"CALCMFST";
 const MANIFEST_VERSION: u32 = 1;
+/// Manifest version carrying a codec byte and per-part raw (uncompressed)
+/// byte counts. Written only when the cycle's codec is not `none`, so
+/// uncompressed directories stay byte-identical to version 1.
+const MANIFEST_VERSION_CODEC: u32 = 2;
 /// magic + version + kind + id + watermark + parent + part count +
 /// trailing crc.
 const MANIFEST_FIXED_LEN: usize = 8 + 4 + 1 + 8 + 8 + 8 + 4 + 4;
+/// Version-2 fixed section: version 1's plus the codec byte.
+const MANIFEST_FIXED_LEN_V2: usize = MANIFEST_FIXED_LEN + 1;
 /// records + bytes + crc per part.
 const MANIFEST_PART_LEN: usize = 8 + 8 + 4;
+/// Version-2 part entry: records + bytes + raw_bytes + crc.
+const MANIFEST_PART_LEN_V2: usize = 8 + 8 + 8 + 4;
 /// Encoded `parent` when the checkpoint had no published predecessor.
 const MANIFEST_NO_PARENT: u64 = u64::MAX;
 
@@ -82,6 +91,13 @@ pub struct CheckpointMeta {
     pub parent: Option<u64>,
     /// The manifest path (multi-part) or the data file path (legacy).
     pub path: PathBuf,
+    /// Block codec the parts were written with ([`Codec::None`] for
+    /// version-1 manifests and legacy files).
+    pub codec: Codec,
+    /// Uncompressed record-stream bytes across all parts. Equals `bytes`
+    /// when `codec` is `none`; `raw_bytes as f64 / bytes as f64` is the
+    /// cycle's compression ratio.
+    pub raw_bytes: u64,
     /// The data files, in part order. Recovery must apply them in this
     /// order: tombstones are written to part 0 ahead of every value.
     pub parts: Vec<PartMeta>,
@@ -110,6 +126,9 @@ pub struct PublishSummary {
     pub records: u64,
     /// Data bytes across all parts (manifest overhead excluded).
     pub bytes: u64,
+    /// Uncompressed record-stream bytes across all parts (equals `bytes`
+    /// under codec `none`).
+    pub raw_bytes: u64,
     /// Number of part files published.
     pub parts: usize,
 }
@@ -124,6 +143,10 @@ pub struct CheckpointDir {
     quarantined: AtomicU64,
     /// How many part files (and capture threads) new checkpoints use.
     threads: AtomicUsize,
+    /// Block codec new checkpoints are written with (wire byte, see
+    /// [`Codec::to_byte`]). Readers are self-describing, so changing the
+    /// codec between cycles is always safe.
+    codec: AtomicU8,
     /// Newest published checkpoint id, encoded as `id + 1` (`0` = none
     /// published yet) so [`AtomicU64::fetch_max`] keeps it monotone.
     /// Raised by every publish and by every scan; captured into each new
@@ -183,6 +206,7 @@ pub struct PendingPartsCheckpoint {
     id: u64,
     watermark: CommitSeq,
     parent: Option<u64>,
+    codec: Codec,
     part_paths: Vec<PathBuf>,
     dir: PathBuf,
     vfs: Arc<dyn Vfs>,
@@ -221,14 +245,24 @@ impl PendingPartsCheckpoint {
         }
         let records = digests.iter().map(|d| d.records).sum();
         let bytes = digests.iter().map(|d| d.bytes).sum();
+        let raw_bytes = digests.iter().map(|d| d.raw_bytes).sum();
         let parts = digests.len();
 
         let manifest_name = CheckpointDir::manifest_file_name(self.id, self.kind);
         let final_path = self.dir.join(&manifest_name);
         let tmp_path = self.dir.join(format!(".tmp-{manifest_name}"));
-        let mut body = Vec::with_capacity(MANIFEST_FIXED_LEN + parts * MANIFEST_PART_LEN);
+        // Codec `none` keeps writing version-1 manifests byte-identical to
+        // every predecessor of this format; only compressed cycles need
+        // the version-2 codec byte and per-part raw sizes.
+        let compressed = self.codec != Codec::None;
+        let mut body = Vec::with_capacity(MANIFEST_FIXED_LEN_V2 + parts * MANIFEST_PART_LEN_V2);
         body.extend_from_slice(MANIFEST_MAGIC);
-        body.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        if compressed {
+            body.extend_from_slice(&MANIFEST_VERSION_CODEC.to_le_bytes());
+            body.push(self.codec.to_byte());
+        } else {
+            body.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        }
         body.push(self.kind.to_byte());
         body.extend_from_slice(&self.id.to_le_bytes());
         body.extend_from_slice(&self.watermark.0.to_le_bytes());
@@ -237,6 +271,9 @@ impl PendingPartsCheckpoint {
         for d in &digests {
             body.extend_from_slice(&d.records.to_le_bytes());
             body.extend_from_slice(&d.bytes.to_le_bytes());
+            if compressed {
+                body.extend_from_slice(&d.raw_bytes.to_le_bytes());
+            }
             body.extend_from_slice(&d.crc.to_le_bytes());
         }
         let crc = crc32(&body);
@@ -252,6 +289,7 @@ impl PendingPartsCheckpoint {
         Ok(PublishSummary {
             records,
             bytes,
+            raw_bytes,
             parts,
         })
     }
@@ -305,13 +343,24 @@ fn parse_ckpt_name(name: &str) -> Option<(u64, CheckpointKind, NameClass)> {
     Some((id, kind, class))
 }
 
+/// One part's entry in a decoded manifest.
+#[derive(Clone, Copy)]
+struct ManifestPart {
+    records: u64,
+    bytes: u64,
+    /// Uncompressed size; equals `bytes` in version-1 manifests.
+    raw_bytes: u64,
+    crc: u32,
+}
+
 /// A decoded manifest body.
 struct ManifestDoc {
     kind: CheckpointKind,
     id: u64,
     watermark: CommitSeq,
     parent: Option<u64>,
-    parts: Vec<(u64, u64, u32)>, // (records, bytes, crc) per part
+    codec: Codec,
+    parts: Vec<ManifestPart>,
 }
 
 fn invalid(msg: &str) -> io::Error {
@@ -331,34 +380,61 @@ fn decode_manifest(bytes: &[u8]) -> io::Result<ManifestDoc> {
         return Err(invalid("bad manifest magic"));
     }
     let version = u32::from_le_bytes(body[8..12].try_into().unwrap());
-    if version != MANIFEST_VERSION {
-        return Err(invalid("unsupported manifest version"));
-    }
-    let kind = CheckpointKind::from_byte(body[12])?;
-    let id = u64::from_le_bytes(body[13..21].try_into().unwrap());
-    let watermark = CommitSeq(u64::from_le_bytes(body[21..29].try_into().unwrap()));
-    let parent = match u64::from_le_bytes(body[29..37].try_into().unwrap()) {
+    // Version 2 inserts one codec byte after the version and one raw-size
+    // field per part entry; everything else is laid out identically.
+    let (codec, fixed_len, part_len) = match version {
+        MANIFEST_VERSION => (Codec::None, MANIFEST_FIXED_LEN, MANIFEST_PART_LEN),
+        MANIFEST_VERSION_CODEC => {
+            if body.len() + 4 < MANIFEST_FIXED_LEN_V2 {
+                return Err(invalid("manifest too short"));
+            }
+            (
+                Codec::from_byte(body[12])?,
+                MANIFEST_FIXED_LEN_V2,
+                MANIFEST_PART_LEN_V2,
+            )
+        }
+        _ => return Err(invalid("unsupported manifest version")),
+    };
+    let at = if version == MANIFEST_VERSION { 12 } else { 13 };
+    let kind = CheckpointKind::from_byte(body[at])?;
+    let id = u64::from_le_bytes(body[at + 1..at + 9].try_into().unwrap());
+    let watermark = CommitSeq(u64::from_le_bytes(body[at + 9..at + 17].try_into().unwrap()));
+    let parent = match u64::from_le_bytes(body[at + 17..at + 25].try_into().unwrap()) {
         MANIFEST_NO_PARENT => None,
         p => Some(p),
     };
-    let count = u32::from_le_bytes(body[37..41].try_into().unwrap()) as usize;
-    if count == 0 || body.len() != MANIFEST_FIXED_LEN - 4 + count * MANIFEST_PART_LEN {
+    let count = u32::from_le_bytes(body[at + 25..at + 29].try_into().unwrap()) as usize;
+    if count == 0 || body.len() != fixed_len - 4 + count * part_len {
         return Err(invalid("manifest part table size mismatch"));
     }
+    let table = at + 29;
     let mut parts = Vec::with_capacity(count);
     for k in 0..count {
-        let at = 41 + k * MANIFEST_PART_LEN;
-        parts.push((
-            u64::from_le_bytes(body[at..at + 8].try_into().unwrap()),
-            u64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap()),
-            u32::from_le_bytes(body[at + 16..at + 20].try_into().unwrap()),
-        ));
+        let at = table + k * part_len;
+        let records = u64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+        let bytes = u64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap());
+        let (raw_bytes, crc_at) = if version == MANIFEST_VERSION {
+            (bytes, at + 16)
+        } else {
+            (
+                u64::from_le_bytes(body[at + 16..at + 24].try_into().unwrap()),
+                at + 24,
+            )
+        };
+        parts.push(ManifestPart {
+            records,
+            bytes,
+            raw_bytes,
+            crc: u32::from_le_bytes(body[crc_at..crc_at + 4].try_into().unwrap()),
+        });
     }
     Ok(ManifestDoc {
         kind,
         id,
         watermark,
         parent,
+        codec,
         parts,
     })
 }
@@ -384,8 +460,22 @@ impl CheckpointDir {
             vfs,
             quarantined: AtomicU64::new(0),
             threads: AtomicUsize::new(1),
+            codec: AtomicU8::new(Codec::None.to_byte()),
             last_published: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Sets the block codec future checkpoints are written with. Existing
+    /// checkpoints are untouched — files and manifests are
+    /// self-describing, so mixed-codec directories recover fine.
+    pub fn set_codec(&self, codec: Codec) {
+        self.codec.store(codec.to_byte(), Ordering::Relaxed);
+    }
+
+    /// The block codec new checkpoints use.
+    pub fn codec(&self) -> Codec {
+        // The byte was stored from a Codec, so it always decodes.
+        Codec::from_byte(self.codec.load(Ordering::Relaxed)).unwrap_or(Codec::None)
     }
 
     /// Id of the newest checkpoint this handle has published or seen in a
@@ -468,13 +558,14 @@ impl CheckpointDir {
     ) -> io::Result<PendingCheckpoint> {
         let final_path = self.dir.join(Self::file_name(id, kind));
         let tmp_path = self.dir.join(format!(".tmp-{}", Self::file_name(id, kind)));
-        let writer = CheckpointWriter::create_with_vfs(
+        let writer = CheckpointWriter::create_with_vfs_codec(
             self.vfs.as_ref(),
             &tmp_path,
             kind,
             id,
             watermark,
             self.throttle.clone(),
+            self.codec(),
         )?;
         Ok(PendingCheckpoint {
             writer,
@@ -499,17 +590,19 @@ impl CheckpointDir {
         parts: usize,
     ) -> io::Result<(PendingPartsCheckpoint, Vec<CheckpointWriter>)> {
         let parts = parts.max(1);
+        let codec = self.codec();
         let mut part_paths = Vec::with_capacity(parts);
         let mut writers = Vec::with_capacity(parts);
         for k in 0..parts {
             let path = self.dir.join(Self::part_file_name(id, kind, k));
-            match CheckpointWriter::create_with_vfs(
+            match CheckpointWriter::create_with_vfs_codec(
                 self.vfs.as_ref(),
                 &path,
                 kind,
                 id,
                 watermark,
                 self.throttle.clone(),
+                codec,
             ) {
                 Ok(w) => {
                     part_paths.push(path);
@@ -533,6 +626,7 @@ impl CheckpointDir {
                 // when this capture began is what a partial's dirty
                 // window is relative to.
                 parent: self.last_published(),
+                codec,
                 part_paths,
                 dir: self.dir.clone(),
                 vfs: self.vfs.clone(),
@@ -566,7 +660,7 @@ impl CheckpointDir {
         };
         let mut parts = Vec::with_capacity(doc.parts.len());
         let mut ok = true;
-        for (k, &(records, bytes, crc)) in doc.parts.iter().enumerate() {
+        for (k, &ManifestPart { records, bytes, crc, .. }) in doc.parts.iter().enumerate() {
             let part_path = self.dir.join(Self::part_file_name(id, kind, k));
             let valid = CheckpointReader::open_with_vfs(self.vfs.as_ref(), &part_path)
                 .and_then(|r| {
@@ -576,7 +670,11 @@ impl CheckpointDir {
                     r.verify()
                 })
                 .map(|h| {
-                    h.id == id && h.kind == kind && h.watermark == doc.watermark && h.records == records
+                    h.id == id
+                        && h.kind == kind
+                        && h.watermark == doc.watermark
+                        && h.records == records
+                        && h.codec == doc.codec
                 })
                 .unwrap_or(false);
             if !valid {
@@ -610,6 +708,8 @@ impl CheckpointDir {
             bytes: parts.iter().map(|p| p.bytes).sum(),
             parent: doc.parent,
             path: path.to_path_buf(),
+            codec: doc.codec,
+            raw_bytes: doc.parts.iter().map(|p| p.raw_bytes).sum(),
             parts,
         })
     }
@@ -668,6 +768,11 @@ impl CheckpointDir {
                         // recovery chain falls back to requiring dense ids.
                         parent: None,
                         path: path.clone(),
+                        codec: h.codec,
+                        // Single files carry no manifest, so the raw size
+                        // of a compressed one is unknown; report the disk
+                        // size (ratio 1.0) rather than guessing.
+                        raw_bytes: bytes,
                         parts: vec![PartMeta {
                             path,
                             records: h.records,
@@ -767,6 +872,65 @@ impl CheckpointDir {
             // Make the unlinks durable before reporting GC complete, so a
             // later crash cannot resurrect a superseded checkpoint that
             // recovery would then prefer over the replacement.
+            self.vfs.sync_dir(&self.dir)?;
+        }
+        Ok(removed)
+    }
+
+    /// Retention: keeps the newest `keep` full checkpoints (clamped to at
+    /// least 1) and every cycle at or above the oldest kept full's id,
+    /// deleting everything older. Returns the number of checkpoints
+    /// removed.
+    ///
+    /// Safety argument: the live recovery chain is the newest full plus
+    /// partials *newer* than it ([`CheckpointDir::recovery_chain`]), and
+    /// with `keep >= 1` the cutoff is at or below the newest full's id —
+    /// so no deleted cycle (all strictly below the cutoff) can be the
+    /// chain's root or any of its parents. Superseded partials between
+    /// kept fulls survive too, preserving every fallback chain among the
+    /// kept fulls: if the newest full is later found corrupt and
+    /// quarantined, recovery still has `keep - 1` older complete chains.
+    pub fn prune_chains(&self, keep: usize) -> io::Result<usize> {
+        let keep = keep.max(1);
+        let all = self.scan()?;
+        let mut full_ids: Vec<u64> = all
+            .iter()
+            .filter(|m| m.kind == CheckpointKind::Full)
+            .map(|m| m.id)
+            .collect();
+        full_ids.sort_unstable();
+        full_ids.dedup();
+        if full_ids.len() <= keep {
+            return Ok(0);
+        }
+        let cutoff = full_ids[full_ids.len() - keep];
+        let mut removed = 0;
+        for meta in &all {
+            if meta.id >= cutoff {
+                continue;
+            }
+            for part in &meta.parts {
+                self.vfs.remove_file(&part.path)?;
+            }
+            if meta.path != meta.parts[0].path {
+                self.vfs.remove_file(&meta.path)?;
+            }
+            removed += 1;
+        }
+        // Orphaned parts below the cutoff are debris from aborted or
+        // crashed cycles; in-flight cycles allocate ids above everything
+        // published, so they all sort at or above the cutoff.
+        for path in self.vfs.read_dir(&self.dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            if let Some((id, _, NameClass::Part(_))) = parse_ckpt_name(&name) {
+                if id < cutoff {
+                    let _ = self.vfs.remove_file(&path);
+                }
+            }
+        }
+        if removed > 0 {
             self.vfs.sync_dir(&self.dir)?;
         }
         Ok(removed)
@@ -1091,6 +1255,120 @@ mod tests {
         let metas = d.scan().unwrap();
         assert_eq!(metas.len(), 1);
         assert_eq!(metas[0].path, keep);
+    }
+
+    #[test]
+    fn compressed_parts_publish_scan_read_roundtrip() {
+        let d = dir("codec-parts");
+        publish_parts(&d, CheckpointKind::Full, 1, 8, 2); // v1 cycle
+        d.set_codec(Codec::Rle);
+        assert_eq!(d.codec(), Codec::Rle);
+        let (pending, mut writers) = d
+            .begin_parts(CheckpointKind::Partial, 2, CommitSeq(200), 3)
+            .unwrap();
+        for k in 0..30u64 {
+            writers[(k % 3) as usize]
+                .write_record(Key(k), &[0u8; 256])
+                .unwrap();
+        }
+        let summary = pending.publish(writers).unwrap();
+        assert!(summary.raw_bytes > summary.bytes, "zeros must compress");
+
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].codec, Codec::None);
+        assert_eq!(metas[0].raw_bytes, metas[0].bytes);
+        assert_eq!(metas[1].codec, Codec::Rle);
+        assert_eq!(metas[1].raw_bytes, summary.raw_bytes);
+        assert_eq!(metas[1].bytes, summary.bytes);
+        assert_eq!(metas[1].read_all().unwrap().len(), 30);
+        assert_eq!(d.quarantined_count(), 0, "mixed-codec directory is fine");
+    }
+
+    #[test]
+    fn corrupt_compressed_part_quarantines_the_whole_cycle() {
+        let d = dir("codec-corrupt");
+        d.set_codec(Codec::Rle);
+        publish_parts(&d, CheckpointKind::Full, 1, 200, 2);
+        publish_parts(&d, CheckpointKind::Full, 2, 200, 2);
+        let victim = d.path().join("ckpt-0000000002-full.part-0");
+        let mut data = std::fs::read(&victim).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&victim, &data).unwrap();
+        let metas = d.scan().unwrap();
+        assert_eq!(metas.len(), 1);
+        assert_eq!(metas[0].id, 1);
+        assert_eq!(d.quarantined_count(), 3, "manifest + both parts");
+    }
+
+    #[test]
+    fn prune_keeps_newest_fulls_and_their_partials() {
+        let d = dir("prune");
+        publish_parts(&d, CheckpointKind::Full, 0, 2, 2);
+        publish_parts(&d, CheckpointKind::Partial, 1, 1, 2);
+        publish_parts(&d, CheckpointKind::Full, 2, 2, 2);
+        publish_parts(&d, CheckpointKind::Partial, 3, 1, 2);
+        publish_parts(&d, CheckpointKind::Full, 4, 2, 2);
+        publish_parts(&d, CheckpointKind::Partial, 5, 1, 2);
+        // keep=2: cutoff at full id 2; cycle 0 and partial 1 go.
+        assert_eq!(d.prune_chains(2).unwrap(), 2);
+        let ids: Vec<(u64, CheckpointKind)> =
+            d.scan().unwrap().iter().map(|m| (m.id, m.kind)).collect();
+        assert_eq!(
+            ids,
+            vec![
+                (2, CheckpointKind::Full),
+                (3, CheckpointKind::Partial),
+                (4, CheckpointKind::Full),
+                (5, CheckpointKind::Partial),
+            ]
+        );
+        // The live chain is intact after pruning.
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        assert_eq!(full.id, 4);
+        assert_eq!(partials.len(), 1);
+        // Pruning again is a no-op; keep=1 keeps only the live chain.
+        assert_eq!(d.prune_chains(2).unwrap(), 0);
+        assert_eq!(d.prune_chains(1).unwrap(), 2);
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        assert_eq!(full.id, 4);
+        assert_eq!(partials[0].id, 5);
+    }
+
+    #[test]
+    fn prune_never_removes_a_live_chain_parent() {
+        // A partial chain hanging off the newest full must survive any
+        // keep value, even keep=1 — the chain root is the newest full and
+        // the cutoff can never exceed it.
+        let d = dir("prune-live");
+        publish_parts(&d, CheckpointKind::Full, 0, 2, 2);
+        publish_parts(&d, CheckpointKind::Full, 1, 2, 2);
+        publish_parts(&d, CheckpointKind::Partial, 2, 1, 2);
+        publish_parts(&d, CheckpointKind::Partial, 3, 1, 2);
+        assert_eq!(d.prune_chains(0).unwrap(), 1, "keep clamps to 1");
+        let (full, partials) = d.recovery_chain().unwrap().unwrap();
+        assert_eq!(full.id, 1);
+        let ids: Vec<u64> = partials.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![2, 3], "live partial chain untouched");
+    }
+
+    #[test]
+    fn prune_noop_with_few_fulls_and_removes_old_orphans() {
+        let d = dir("prune-orphan");
+        publish_parts(&d, CheckpointKind::Full, 1, 2, 2);
+        assert_eq!(d.prune_chains(1).unwrap(), 0, "one full, keep 1");
+        publish_parts(&d, CheckpointKind::Full, 5, 2, 2);
+        // Orphan part debris below the cutoff (a crashed cycle 2).
+        let orphan = d.path().join(CheckpointDir::part_file_name(
+            2,
+            CheckpointKind::Partial,
+            0,
+        ));
+        std::fs::write(&orphan, b"debris").unwrap();
+        assert_eq!(d.prune_chains(1).unwrap(), 1);
+        assert!(!orphan.exists(), "orphan debris pruned with its id range");
+        assert_eq!(d.scan().unwrap().len(), 1);
     }
 
     #[test]

@@ -115,8 +115,11 @@ pub struct CheckpointStats {
     pub watermark: CommitSeq,
     /// Records + tombstones written.
     pub records: u64,
-    /// Bytes written.
+    /// Bytes written to disk (post-compression).
     pub bytes: u64,
+    /// Uncompressed record-stream bytes; equals `bytes` under codec
+    /// `none`, so `raw_bytes / bytes` is the cycle's compression ratio.
+    pub raw_bytes: u64,
     /// Wall-clock duration of the whole cycle.
     pub duration: Duration,
     /// Time the system was quiesced (zero for CALC).

@@ -201,6 +201,22 @@ pub struct EngineConfig {
     /// lose the unflushed tail, bounded by the group-commit interval);
     /// recovery replays the log on top of the newest checkpoint.
     pub command_log_path: Option<PathBuf>,
+    /// Segmented command log: when set, commits are logged into rotating
+    /// `cmdlog-{i:06}.log` segments under this directory instead of the
+    /// single file named by `command_log_path` (which is then ignored).
+    /// Sealed segments fully covered by a durable checkpoint are deleted
+    /// after each successful cycle, bounding log disk use.
+    pub command_log_dir: Option<PathBuf>,
+    /// Rotation threshold for segmented command logs, in bytes (clamped
+    /// to at least 4 KiB). `None` uses a 64 MiB default.
+    pub log_segment_bytes: Option<u64>,
+    /// Block codec checkpoint parts are written with ([`Codec::None`]
+    /// keeps the legacy byte-identical format).
+    pub codec: calc_core::Codec,
+    /// Retention: after each successful cycle, prune published checkpoint
+    /// chains down to the newest N fulls (plus their partials). `None`
+    /// keeps everything, the pre-retention behaviour.
+    pub keep_checkpoints: Option<usize>,
     /// The filesystem all durable state is written through. Defaults to
     /// the real one ([`OsVfs`]); crash-simulation tests substitute a
     /// fault-injecting [`calc_common::simfs::SimVfs`].
@@ -237,6 +253,10 @@ impl EngineConfig {
             checkpoint_interval: None,
             checkpoint_tuning: ServiceTuning::default(),
             command_log_path: None,
+            command_log_dir: None,
+            log_segment_bytes: None,
+            codec: calc_core::Codec::None,
+            keep_checkpoints: None,
             vfs: Arc::new(OsVfs),
             #[cfg(feature = "conform")]
             recorder: None,

@@ -115,6 +115,20 @@ pub struct Health {
     /// Part files written by the most recent checkpoint cycle (0 until
     /// one completes).
     last_checkpoint_parts: AtomicU64,
+    /// Disk bytes written by the most recent cycle (post-compression).
+    last_checkpoint_bytes: AtomicU64,
+    /// Uncompressed record-stream bytes of the most recent cycle.
+    last_checkpoint_raw_bytes: AtomicU64,
+    /// Superseded checkpoint chains pruned by retention, lifetime total.
+    checkpoints_pruned: AtomicU64,
+    /// Command-log segments truncated by retention, lifetime total.
+    log_segments_truncated: AtomicU64,
+    /// Command-log bytes freed by retention, lifetime total.
+    log_bytes_truncated: AtomicU64,
+    /// Retention passes (prune or truncate) that failed. Retention runs
+    /// after the cycle is durably published, so a failure never un-commits
+    /// a checkpoint — disk use just stays higher until the next pass.
+    retention_failures: AtomicU64,
 }
 
 impl Health {
@@ -137,6 +151,12 @@ impl Health {
             merge_failures: AtomicU64::new(0),
             last_merge_error: Mutex::new(None),
             last_checkpoint_parts: AtomicU64::new(0),
+            last_checkpoint_bytes: AtomicU64::new(0),
+            last_checkpoint_raw_bytes: AtomicU64::new(0),
+            checkpoints_pruned: AtomicU64::new(0),
+            log_segments_truncated: AtomicU64::new(0),
+            log_bytes_truncated: AtomicU64::new(0),
+            retention_failures: AtomicU64::new(0),
         }
     }
 
@@ -256,6 +276,62 @@ impl Health {
     /// every parallel capture; 1 indicates the serial pipeline.
     pub fn last_checkpoint_parts(&self) -> u64 {
         self.last_checkpoint_parts.load(Ordering::Relaxed)
+    }
+
+    /// Records the just-completed cycle's disk footprint (from
+    /// [`calc_core::strategy::CheckpointStats`]): bytes on disk and the
+    /// uncompressed stream size they encode.
+    pub fn record_footprint(&self, bytes: u64, raw_bytes: u64) {
+        self.last_checkpoint_bytes.store(bytes, Ordering::Relaxed);
+        self.last_checkpoint_raw_bytes
+            .store(raw_bytes, Ordering::Relaxed);
+    }
+
+    /// Disk bytes written by the most recent checkpoint cycle.
+    pub fn last_checkpoint_bytes(&self) -> u64 {
+        self.last_checkpoint_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Uncompressed record-stream bytes of the most recent cycle. The
+    /// ratio against [`Health::last_checkpoint_bytes`] is the cycle's
+    /// compression ratio (1.0 under codec `none`).
+    pub fn last_checkpoint_raw_bytes(&self) -> u64 {
+        self.last_checkpoint_raw_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Records one retention pass: checkpoints pruned, command-log
+    /// segments truncated, and log bytes freed.
+    pub fn record_retention(&self, pruned: u64, segments: u64, log_bytes: u64) {
+        self.checkpoints_pruned.fetch_add(pruned, Ordering::Relaxed);
+        self.log_segments_truncated
+            .fetch_add(segments, Ordering::Relaxed);
+        self.log_bytes_truncated
+            .fetch_add(log_bytes, Ordering::Relaxed);
+    }
+
+    /// A retention pass failed (the cycle itself already published).
+    pub fn record_retention_failure(&self) {
+        self.retention_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Superseded checkpoints pruned by retention, lifetime total.
+    pub fn checkpoints_pruned(&self) -> u64 {
+        self.checkpoints_pruned.load(Ordering::Relaxed)
+    }
+
+    /// Command-log segments truncated by retention, lifetime total.
+    pub fn log_segments_truncated(&self) -> u64 {
+        self.log_segments_truncated.load(Ordering::Relaxed)
+    }
+
+    /// Command-log bytes freed by retention, lifetime total.
+    pub fn log_bytes_truncated(&self) -> u64 {
+        self.log_bytes_truncated.load(Ordering::Relaxed)
+    }
+
+    /// Failed retention passes.
+    pub fn retention_failures(&self) -> u64 {
+        self.retention_failures.load(Ordering::Relaxed)
     }
 
     /// Background merges that failed.

@@ -29,5 +29,8 @@
 pub mod logfile;
 pub mod replay;
 
-pub use logfile::{CommandLogReader, CommandLogWriter};
+pub use logfile::{
+    read_dir_logs, truncate_segments_below, CommandLogReader, CommandLogWriter,
+    SegmentedLogWriter, TruncateStats,
+};
 pub use replay::{recover, recover_checkpoint_only, RecoveryError, RecoveryOutcome};

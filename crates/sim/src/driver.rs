@@ -31,11 +31,14 @@ use calc_common::simfs::{DirCrashMode, FaultSpec, OpCounts, SimVfs, TransientKin
 use calc_common::types::{Key, TxnId};
 use calc_common::vfs::Vfs;
 use calc_common::Backoff;
+use calc_core::file::CheckpointKind;
 use calc_core::manifest::CheckpointDir;
 use calc_core::strategy::{CheckpointStrategy, NoopEnv, TxnToken};
 use calc_core::throttle::Throttle;
+use calc_core::Codec;
 use calc_engine::{classify, ErrorClass, StrategyKind};
 use calc_recovery::logfile::{CommandLogReader, CommandLogStream, CommandLogWriter};
+use calc_recovery::{read_dir_logs, truncate_segments_below, SegmentedLogWriter};
 use calc_recovery::replay::{recover_streamed, RecoveryError};
 use calc_storage::dual::StoreConfig;
 use calc_txn::commitlog::{CommitLog, CommitRecord, PhaseStamp};
@@ -103,6 +106,18 @@ pub struct SimSpec {
     /// Retries per checkpoint cycle before giving up on that cycle
     /// (degraded: the run continues on the command log alone).
     pub ckpt_retries: u32,
+    /// Checkpoint-part codec. `None` reads `CKPT_CODEC` from the
+    /// environment (default `none`), so one sweep binary covers both the
+    /// legacy and the compressed on-disk formats.
+    pub codec: Option<Codec>,
+    /// Command-log segmentation: rotate `cmdlog-<i>.log` segments at this
+    /// size. `None` keeps the legacy single-file command log.
+    pub log_segment_bytes: Option<u64>,
+    /// After each checkpoint that completed on an honest fsync chain,
+    /// truncate sealed log segments below the oldest surviving full's
+    /// watermark — the engine's retention path, under crash faults.
+    /// Requires `log_segment_bytes`.
+    pub truncate_log: bool,
 }
 
 impl SimSpec {
@@ -120,6 +135,9 @@ impl SimSpec {
             transient: None,
             ckpt_threads: None,
             ckpt_retries: 3,
+            codec: None,
+            log_segment_bytes: None,
+            truncate_log: false,
         }
     }
 
@@ -213,6 +231,27 @@ impl TxnOps for Bridge<'_> {
     }
 }
 
+/// The live run's durable log sink — legacy single file or segmented.
+enum SimLog {
+    Single(CommandLogWriter),
+    Segmented(SegmentedLogWriter),
+}
+
+impl SimLog {
+    fn append(&mut self, rec: &CommitRecord) -> io::Result<()> {
+        match self {
+            SimLog::Single(w) => w.append(rec),
+            SimLog::Segmented(w) => w.append(rec),
+        }
+    }
+    fn sync(&mut self) -> io::Result<()> {
+        match self {
+            SimLog::Single(w) => w.sync(),
+            SimLog::Segmented(w) => w.sync(),
+        }
+    }
+}
+
 fn violation(spec: &SimSpec, detail: impl Into<String>) -> OracleViolation {
     OracleViolation {
         spec: spec.clone(),
@@ -248,6 +287,10 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
     let vfs_dyn: Arc<dyn Vfs> = Arc::new(vfs.clone());
     let ckpt_dir = PathBuf::from("/sim/ckpts");
     let log_path = PathBuf::from("/sim/cmd.log");
+    let log_seg_dir = PathBuf::from("/sim/cmdlog");
+    let codec = spec
+        .codec
+        .unwrap_or_else(|| Codec::from_env().expect("CKPT_CODEC names a known codec"));
 
     let mut committed: Vec<(u64, Op)> = Vec::new();
     let mut durable_floor = 0u64;
@@ -266,9 +309,16 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
             Err(_) => break 'live,
         };
         dir.set_checkpoint_threads(spec.ckpt_threads.unwrap_or_else(ckpt_threads_from_env));
-        let mut cmdlog = match CommandLogWriter::create_with_vfs(&vfs, &log_path) {
-            Ok(w) => w,
-            Err(_) => break 'live,
+        dir.set_codec(codec);
+        let mut cmdlog = match spec.log_segment_bytes {
+            Some(seg) => match SegmentedLogWriter::create(vfs_dyn.clone(), &log_seg_dir, seg) {
+                Ok(w) => SimLog::Segmented(w),
+                Err(_) => break 'live,
+            },
+            None => match CommandLogWriter::create_with_vfs(&vfs, &log_path) {
+                Ok(w) => SimLog::Single(w),
+                Err(_) => break 'live,
+            },
         };
         let log = Arc::new(CommitLog::new(false));
         let strategy = spec.kind.build(store_config(), log.clone());
@@ -344,6 +394,28 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
                             if vfs.fsyncs_dropped() == 0 {
                                 durable_floor = durable_floor.max(stats.watermark.0);
                             }
+                            // Retention, under the same honesty gate as the
+                            // durability floor: one lying fsync voids the
+                            // publish chain the truncation floor rests on.
+                            if spec.truncate_log
+                                && spec.log_segment_bytes.is_some()
+                                && vfs.fsyncs_dropped() == 0
+                            {
+                                let floor = dir.scan().ok().and_then(|metas| {
+                                    metas
+                                        .iter()
+                                        .filter(|m| m.kind == CheckpointKind::Full)
+                                        .map(|m| m.watermark)
+                                        .min()
+                                });
+                                if let Some(floor) = floor {
+                                    let _ = truncate_segments_below(
+                                        vfs_dyn.as_ref(),
+                                        &log_seg_dir,
+                                        floor,
+                                    );
+                                }
+                            }
                             break;
                         }
                         Err(e) => {
@@ -389,12 +461,21 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
     )
     .map_err(|e| violation(spec, format!("reopening checkpoint dir after crash: {e}")))?;
     dir.set_checkpoint_threads(spec.ckpt_threads.unwrap_or_else(ckpt_threads_from_env));
-    let commands = match CommandLogReader::open_with_vfs(&vfs, &log_path) {
-        Ok(r) => r
-            .read_all()
-            .map_err(|e| violation(spec, format!("reading durable command log: {e}")))?,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(violation(spec, format!("opening durable command log: {e}"))),
+    dir.set_codec(codec);
+    let commands = if spec.log_segment_bytes.is_some() {
+        match read_dir_logs(vfs_dyn.as_ref(), &log_seg_dir) {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(violation(spec, format!("reading durable log segments: {e}"))),
+        }
+    } else {
+        match CommandLogReader::open_with_vfs(&vfs, &log_path) {
+            Ok(r) => r
+                .read_all()
+                .map_err(|e| violation(spec, format!("reading durable command log: {e}")))?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(violation(spec, format!("opening durable command log: {e}"))),
+        }
     };
     // Serial-driver invariant: the durable log is a prefix of commit order.
     for pair in commands.windows(2) {
@@ -438,12 +519,22 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
     // the prefetch thread, apply in commit order here), exercising the
     // same pipelined path the engine uses. The eager `commands` read
     // above is the oracle's reference copy.
-    let streamed = match CommandLogStream::open_with_vfs(&vfs, &log_path) {
-        Ok(stream) => recover_streamed(&dir, fresh.as_ref(), &reg, stream),
-        Err(e) if e.kind() == io::ErrorKind::NotFound => {
-            recover_streamed(&dir, fresh.as_ref(), &reg, std::iter::empty())
+    let streamed = if spec.log_segment_bytes.is_some() {
+        match CommandLogStream::open_dir_with_vfs(vfs_dyn.clone(), &log_seg_dir) {
+            Ok(stream) => recover_streamed(&dir, fresh.as_ref(), &reg, stream),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                recover_streamed(&dir, fresh.as_ref(), &reg, std::iter::empty())
+            }
+            Err(e) => return Err(violation(spec, format!("opening segment stream: {e}"))),
         }
-        Err(e) => return Err(violation(spec, format!("opening command log stream: {e}"))),
+    } else {
+        match CommandLogStream::open_with_vfs(&vfs, &log_path) {
+            Ok(stream) => recover_streamed(&dir, fresh.as_ref(), &reg, stream),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                recover_streamed(&dir, fresh.as_ref(), &reg, std::iter::empty())
+            }
+            Err(e) => return Err(violation(spec, format!("opening command log stream: {e}"))),
+        }
     };
     let recovered_prefix = match streamed {
         Ok(outcome) => {

@@ -14,6 +14,7 @@
 //! 0x-hex).
 
 use calc_common::simfs::{FaultKind, FaultSpec, TransientKind};
+use calc_core::Codec;
 use calc_engine::StrategyKind;
 use calc_sim::{run_sim, SimSpec, TransientPlan};
 
@@ -97,9 +98,14 @@ fn pcalc_part_failure_mid_capture_rolls_every_shard_forward() {
     // `skip: 9` reaches past `begin_parts` (part creates + headers) into
     // the capture's record/footer writes at both thread counts, so the
     // error hits an arbitrary in-flight part rather than the first
-    // create.
+    // create. That offset is calibrated to the uncompressed write
+    // pattern (one VFS write per record); the codec is pinned so a
+    // `CKPT_CODEC` sweep doesn't shift the window out of the capture —
+    // compressed captures get the same treatment from the
+    // self-calibrating sweeps in `retention_crash.rs`.
     for threads in [1usize, 4] {
         let mut spec = SimSpec::smoke(StrategyKind::PCalc, fault_seed() ^ 0x9A);
+        spec.codec = Some(Codec::None);
         spec.ckpt_threads = Some(threads);
         spec.transient = Some(TransientPlan::EveryCheckpoint {
             kind: TransientKind::WriteError,

@@ -24,7 +24,7 @@ use calc_db::engine::{Database, EngineConfig, StrategyKind, TxnOutcome};
 use calc_db::txn::proc::{
     params, AbortReason, LockRequest, ProcId, ProcRegistry, Procedure, TxnOps,
 };
-use calc_db::{CommitSeq, Key};
+use calc_db::Key;
 
 const PUT: ProcId = ProcId(1);
 const DEL: ProcId = ProcId(2);
@@ -120,6 +120,13 @@ fn open(dir: &std::path::Path) -> Database {
     let mut config = EngineConfig::new(StrategyKind::PCalc, 100_000, 64, dir.join("ckpts"));
     config.retain_command_log = true;
     config.merge_batch = Some(4);
+    // ISSUE 6 knobs, drivable from the shell: `CKPT_CODEC=rle` compresses
+    // checkpoint parts; the segmented on-disk command log (tiny segments,
+    // so rotation is visible) is truncated behind `keep_checkpoints`.
+    config.codec = calc_db::core::Codec::from_env().expect("CKPT_CODEC names a known codec");
+    config.command_log_dir = Some(dir.join("cmdlog"));
+    config.log_segment_bytes = Some(4 << 10);
+    config.keep_checkpoints = Some(2);
     Database::open(config, registry()).expect("open database")
 }
 
@@ -225,9 +232,29 @@ fn main() {
                         m.kind, m.id, m.records, m.watermark
                     );
                 }
+                let h = db.health();
+                println!(
+                    "  disk: last ckpt {} B ({} B raw) · chains pruned {} · log segments truncated {} ({} B)",
+                    h.last_checkpoint_bytes(),
+                    h.last_checkpoint_raw_bytes(),
+                    h.checkpoints_pruned(),
+                    h.log_segments_truncated(),
+                    h.log_bytes_truncated()
+                );
             }
             "crash" => {
-                saved_commands = db.commit_log().commits_after(CommitSeq::ZERO);
+                // Snapshot what the log still retains: commits truncated
+                // behind `keep_checkpoints` are covered by durable
+                // checkpoints, exactly as on a real disk.
+                saved_commands = db
+                    .commit_log()
+                    .entries()
+                    .into_iter()
+                    .filter_map(|e| match e {
+                        calc_db::txn::LogEntry::Commit(c) => Some(c),
+                        _ => None,
+                    })
+                    .collect();
                 drop(db);
                 db = open(&dir); // empty store, same checkpoint dir
                 println!(

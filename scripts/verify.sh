@@ -27,6 +27,9 @@ cargo test --workspace --quiet
 echo "== tier-2: crash-simulation sweep (calc-sim) =="
 cargo test --package calc-sim --quiet
 
+echo "== tier-2: crash-simulation sweep, compressed parts (CKPT_CODEC=rle) =="
+CKPT_CODEC=rle cargo test --package calc-sim --quiet
+
 echo "== tier-3: concurrency conformance (calc-conform, 3 base seeds) =="
 for seed in 0xC0F0202600000000 0x5EEDFACE00000001 0xA5A5A5A500000002; do
     echo "  -- CONFORM_SEED=${seed}"
