@@ -16,6 +16,10 @@
 //!    and recovered under every codec (compressed vs. raw bytes, ratio,
 //!    recovery time), plus a segmented command-log run with truncation at
 //!    a moving watermark showing disk use stays bounded.
+//! 5. **failover** (ISSUE 7) — the same 500k-record store behind a warm
+//!    standby that tailed the command log live: promotion latency (final
+//!    drain + seal) vs. cold recovery (chain load + log replay),
+//!    asserting the warm standby is ≥5× faster to serving.
 //!
 //! Environment knobs: `BENCH_OUT` (output path, default
 //! `BENCH_pipeline.json`), `BENCH_RECORDS` (default 500_000),
@@ -26,7 +30,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use calc_bench::runner::{self, RunSpec, WorkloadSpec};
-use calc_common::types::{CommitSeq, TxnId};
+use calc_common::types::{CommitSeq, Key, TxnId};
 use calc_common::vfs::{OsVfs, Vfs};
 use calc_core::calc::CalcStrategy;
 use calc_core::manifest::CheckpointDir;
@@ -34,12 +38,15 @@ use calc_core::strategy::{CheckpointStrategy, NoopEnv};
 use calc_core::throttle::Throttle;
 use calc_core::Codec;
 use calc_engine::StrategyKind;
-use calc_recovery::logfile::{list_segments, SegmentedLogWriter};
-use calc_recovery::replay::recover_checkpoint_only;
+use calc_recovery::logfile::{list_segments, CommandLogStream, SegmentedLogWriter};
+use calc_recovery::replay::{recover_checkpoint_only, recover_streamed};
 use calc_recovery::truncate_segments_below;
+use calc_replica::{Standby, StandbyConfig};
 use calc_storage::dual::StoreConfig;
 use calc_txn::commitlog::{CommitLog, CommitRecord};
-use calc_txn::proc::ProcId;
+use calc_txn::proc::{
+    params, AbortReason, LockRequest, ProcId, ProcRegistry, Procedure, TxnOps,
+};
 use calc_workload::micro::MicroConfig;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -47,6 +54,43 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|s| s.trim().parse().ok())
         .unwrap_or(default)
+}
+
+/// Upsert procedure for the failover section's command-log tail.
+const BENCH_SET: ProcId = ProcId(1);
+
+struct BenchSetProc;
+impl Procedure for BenchSetProc {
+    fn id(&self) -> ProcId {
+        BENCH_SET
+    }
+    fn name(&self) -> &'static str {
+        "bench-set"
+    }
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = params::Reader::new(p);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = params::Reader::new(p);
+        let key = Key(r.u64()?);
+        let val = r.bytes()?;
+        if ops.get(key).is_some() {
+            ops.put(key, val);
+        } else {
+            ops.insert(key, val);
+        }
+        Ok(())
+    }
+}
+
+fn bench_registry() -> ProcRegistry {
+    let mut r = ProcRegistry::new();
+    r.register(Arc::new(BenchSetProc));
+    r
 }
 
 /// One capture + recovery measurement at a fixed thread count.
@@ -294,6 +338,86 @@ fn main() {
         "live log ({live_log_bytes} B) not bounded below truncated volume"
     );
 
+    // ---- Section 5: warm-standby promotion vs cold recovery (ISSUE 7).
+    // The 500k-record store is checkpointed once more, then a command-log
+    // tail of post-checkpoint updates is appended. A standby bootstraps
+    // from the chain and tails the log to caught-up *before* the clock
+    // starts — that is the steady state a warm standby buys. Promotion
+    // then only drains an already-applied log and seals, while the cold
+    // path pays the full chain load plus log replay.
+    eprintln!("pipeline: failover — preparing primary footprint…");
+    let fo_ckpts = root.join("failover-ckpts");
+    let fo_log_dir = root.join("failover-log");
+    let fo_dir = CheckpointDir::open(&fo_ckpts, Arc::new(Throttle::unlimited()))
+        .expect("open failover dir");
+    fo_dir.set_checkpoint_threads(4);
+    let fo_stats = strategy
+        .checkpoint(&NoopEnv, &fo_dir)
+        .expect("failover checkpoint");
+    let tail_records = env_u64("BENCH_FAILOVER_TAIL", 1_000);
+    let mut fo_log = SegmentedLogWriter::create(vfs.clone(), &fo_log_dir, 1 << 20)
+        .expect("create failover log");
+    let fo_payload = vec![7u8; 64];
+    for k in 0..tail_records {
+        let seq = fo_stats.watermark.0 + 1 + k;
+        fo_log
+            .append(&CommitRecord {
+                seq: CommitSeq(seq),
+                txn: TxnId(seq),
+                proc: BENCH_SET,
+                params: params::Writer::new().u64(k).bytes(&fo_payload).finish(),
+            })
+            .expect("append failover tail");
+    }
+    fo_log.sync().expect("sync failover tail");
+    let registry = bench_registry();
+    let fo_store = || StoreConfig::for_records(records as usize + records as usize / 4 + 1024, 64);
+
+    eprintln!("pipeline: failover — cold recovery (chain + log replay)…");
+    let cold_target = CalcStrategy::full(fo_store(), Arc::new(CommitLog::new(false)));
+    let start = Instant::now();
+    let stream =
+        CommandLogStream::open_dir_with_vfs(vfs.clone(), &fo_log_dir).expect("open log stream");
+    let cold_outcome =
+        recover_streamed(&fo_dir, &cold_target, &registry, stream).expect("cold recovery");
+    let cold_recovery = start.elapsed();
+    assert_eq!(
+        cold_outcome.replayed, tail_records,
+        "cold recovery replayed the wrong tail"
+    );
+
+    eprintln!("pipeline: failover — warm standby bootstrap + tail…");
+    let mut cfg = StandbyConfig::new(
+        StrategyKind::Calc,
+        fo_store(),
+        fo_ckpts.clone(),
+        fo_log_dir.clone(),
+    );
+    cfg.checkpoint_threads = 4;
+    let mut standby = Standby::open(cfg, bench_registry()).expect("open standby");
+    let poll = standby.poll().expect("standby catch-up poll");
+    assert_eq!(
+        poll.applied_seq,
+        fo_stats.watermark.0 + tail_records,
+        "standby failed to catch up before promotion"
+    );
+
+    eprintln!("pipeline: failover — promote…");
+    let promoted = standby.promote().expect("promote");
+    let promote = promoted.promote_duration();
+    assert_eq!(
+        promoted.record_count(),
+        cold_target.record_count(),
+        "promoted state diverged from cold recovery"
+    );
+    let failover_speedup = cold_recovery.as_secs_f64() / promote.as_secs_f64().max(1e-9);
+    assert!(
+        failover_speedup >= 5.0,
+        "warm-standby promotion ({:.3} ms) must be ≥5× faster than cold recovery ({:.3} ms)",
+        ms(promote),
+        ms(cold_recovery)
+    );
+
     // ---- Emit JSON (hand-rolled; every value is a number or plain name).
     let mut json = String::new();
     json.push_str("{\n");
@@ -359,7 +483,15 @@ fn main() {
          \"log_bytes_truncated\": {log_bytes_truncated}, \
          \"live_log_bytes\": {live_log_bytes}}}\n"
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"failover\": {{\"records\": {records}, \"tail_records\": {tail_records}, \
+         \"cold_recovery_ms\": {:.3}, \"promote_ms\": {:.3}, \"speedup\": {:.1}}}\n",
+        ms(cold_recovery),
+        ms(promote),
+        failover_speedup,
+    ));
+    json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     eprintln!("pipeline: wrote {}", out_path.display());
     println!("{json}");

@@ -47,7 +47,7 @@ pub mod throttle;
 pub use calc::CalcStrategy;
 pub use codec::Codec;
 pub use file::{CheckpointKind, CheckpointReader, CheckpointWriter, PartSummary, RecordEntry};
-pub use manifest::{CheckpointDir, CheckpointMeta, PartMeta, PublishSummary};
+pub use manifest::{CheckpointClaim, CheckpointDir, CheckpointMeta, PartMeta, PublishSummary};
 pub use partition::{capture_parts, ShardPartition};
 pub use phase::PhaseController;
 pub use strategy::{

@@ -69,6 +69,18 @@ pub struct PartMeta {
     pub bytes: u64,
 }
 
+/// The id/watermark a cycle *claims* on disk, whether or not its data
+/// validates — see [`CheckpointDir::claims`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointClaim {
+    /// Checkpoint cycle id.
+    pub id: u64,
+    /// Full or partial.
+    pub kind: CheckpointKind,
+    /// Claimed commit watermark (0 when unreadable).
+    pub watermark: CommitSeq,
+}
+
 /// Metadata of one published, validated checkpoint.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckpointMeta {
@@ -786,6 +798,58 @@ impl CheckpointDir {
         if let Some(max_id) = out.iter().map(|m| m.id).max() {
             self.last_published.fetch_max(max_id + 1, Ordering::Relaxed);
         }
+        Ok(out)
+    }
+
+    /// A cheap claims-only listing: the id and claimed watermark of every
+    /// cycle with any durable trace in the directory, read from manifest
+    /// documents and file *names* without validating part payloads —
+    /// O(cycles), not O(data). Unlike [`CheckpointDir::scan`], cycles deep
+    /// validation would quarantine still appear here: their claims are
+    /// exactly what standby promotion must seal the id/seq spaces above,
+    /// whether or not the data behind them is intact. Orphan parts and
+    /// unreadable manifests contribute their name-derived id with a
+    /// watermark claim of 0.
+    pub fn claims(&self) -> io::Result<Vec<CheckpointClaim>> {
+        let mut out: Vec<CheckpointClaim> = Vec::new();
+        for path in self.vfs.read_dir(&self.dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
+            let Some((id, kind, class)) = parse_ckpt_name(&name) else {
+                continue;
+            };
+            let watermark = match class {
+                NameClass::Part(_) => CommitSeq(0),
+                NameClass::Manifest => {
+                    let doc = (|| -> io::Result<ManifestDoc> {
+                        let mut buf = Vec::new();
+                        self.vfs.open_read(&path)?.read_to_end(&mut buf)?;
+                        decode_manifest(&buf)
+                    })();
+                    doc.map(|d| d.watermark).unwrap_or(CommitSeq(0))
+                }
+                NameClass::Legacy => CheckpointReader::open_with_vfs(self.vfs.as_ref(), &path)
+                    .map(|r| r.header().watermark)
+                    .unwrap_or(CommitSeq(0)),
+            };
+            out.push(CheckpointClaim {
+                id,
+                kind,
+                watermark,
+            });
+        }
+        // A cycle's parts and manifest all claim the same (id, kind);
+        // keep the highest watermark claim for each (the manifest's, when
+        // readable).
+        out.sort_by_key(|c| {
+            (
+                c.id,
+                matches!(c.kind, CheckpointKind::Partial),
+                std::cmp::Reverse(c.watermark.0),
+            )
+        });
+        out.dedup_by_key(|c| (c.id, c.kind));
         Ok(out)
     }
 

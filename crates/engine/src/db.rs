@@ -295,9 +295,47 @@ impl Database {
     /// Opens a database: builds the strategy, spawns the worker pool.
     /// Populate with [`Database::load_initial`] then call
     /// [`Database::finalize_load`] before submitting transactions.
+    ///
+    /// Refuses a config with [`EngineConfig::standby_of`] set: a standby
+    /// is not a serving engine. Open a `calc_replica::Standby` from that
+    /// config instead, and `promote()` it into a `Database` on failover.
     pub fn open(config: EngineConfig, registry: ProcRegistry) -> io::Result<Self> {
+        if config.standby_of.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "standby_of is set: open a calc_replica::Standby and promote() it \
+                 instead of serving directly over another node's durable state",
+            ));
+        }
         let log = Arc::new(CommitLog::new(config.retain_command_log));
         let strategy = config.strategy.build(config.store.clone(), log.clone());
+        Self::boot(config, registry, strategy, log)
+    }
+
+    /// Opens a serving database around an *already populated* strategy —
+    /// the promotion path of a warm standby. The caller (normally
+    /// `calc_replica::Promoted::into_database`) has already loaded the
+    /// checkpoint chain, applied the log tail, and resumed the commit-seq
+    /// and checkpoint-id spaces on `strategy` and `log`; this spawns the
+    /// worker pool and, when [`EngineConfig::command_log_dir`] is set,
+    /// seals the applied prefix by opening a fresh log segment above the
+    /// highest survivor (rotation invariant: a restarted writer never
+    /// appends into an existing segment).
+    pub fn resume(
+        config: EngineConfig,
+        registry: ProcRegistry,
+        strategy: Arc<dyn CheckpointStrategy>,
+        log: Arc<CommitLog>,
+    ) -> io::Result<Self> {
+        Self::boot(config, registry, strategy, log)
+    }
+
+    fn boot(
+        config: EngineConfig,
+        registry: ProcRegistry,
+        strategy: Arc<dyn CheckpointStrategy>,
+        log: Arc<CommitLog>,
+    ) -> io::Result<Self> {
         let throttle = if config.disk_bytes_per_sec == 0 {
             Throttle::unlimited()
         } else {

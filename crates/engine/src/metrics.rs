@@ -129,6 +129,29 @@ pub struct Health {
     /// after the cycle is durably published, so a failure never un-commits
     /// a checkpoint — disk use just stays higher until the next pass.
     retention_failures: AtomicU64,
+    /// Highest commit seq a warm standby has applied (0 until tailing).
+    standby_applied_seq: AtomicU64,
+    /// Commits the most recent tail poll found waiting beyond the applied
+    /// watermark — how far behind the standby had fallen between polls.
+    standby_commits_behind: AtomicU64,
+    /// Log bytes beyond the trusted tail the most recent poll could not
+    /// yet apply (an in-flight append, or untrusted bytes past a wedge).
+    standby_bytes_behind: AtomicU64,
+    /// Times the standby rebuilt its state from the covering checkpoint
+    /// after retention truncated segments below its cursor.
+    standby_rebootstraps: AtomicU64,
+    /// Tail errors recorded (poll failures and tail-thread exits).
+    tail_errors: AtomicU64,
+    /// Class + message of the most recent tail error.
+    last_tail_error: Mutex<Option<(ErrorClass, String)>>,
+    /// Nanos-since-start of the most recent tail poll ([`NEVER`] until
+    /// the standby starts tailing) — the tail watchdog's reference point.
+    tail_heartbeat_nanos: AtomicU64,
+    /// The tail loop exited (thread death or fatal error): the applied
+    /// watermark is frozen and will never advance again.
+    tail_exited: AtomicBool,
+    /// The standby was promoted: lag slots are final, not live.
+    promoted: AtomicBool,
 }
 
 impl Health {
@@ -157,6 +180,15 @@ impl Health {
             log_segments_truncated: AtomicU64::new(0),
             log_bytes_truncated: AtomicU64::new(0),
             retention_failures: AtomicU64::new(0),
+            standby_applied_seq: AtomicU64::new(0),
+            standby_commits_behind: AtomicU64::new(0),
+            standby_bytes_behind: AtomicU64::new(0),
+            standby_rebootstraps: AtomicU64::new(0),
+            tail_errors: AtomicU64::new(0),
+            last_tail_error: Mutex::new(None),
+            tail_heartbeat_nanos: AtomicU64::new(NEVER),
+            tail_exited: AtomicBool::new(false),
+            promoted: AtomicBool::new(false),
         }
     }
 
@@ -343,6 +375,111 @@ impl Health {
     pub fn last_merge_error(&self) -> Option<String> {
         self.last_merge_error.lock().clone()
     }
+
+    // --- warm standby lag ---
+
+    /// A tail poll is running now (stamps the tail heartbeat). Called at
+    /// the top of every standby poll, whether or not it makes progress.
+    pub fn tail_heartbeat(&self) {
+        self.tail_heartbeat_nanos
+            .store(self.now_nanos(), Ordering::Release);
+    }
+
+    /// Records the outcome of one standby tail poll: the applied commit
+    /// watermark, how many commits the poll found waiting (its lag at
+    /// poll start), and the log bytes it could not yet trust/apply.
+    pub fn record_standby_lag(&self, applied_seq: u64, commits_behind: u64, bytes_behind: u64) {
+        self.standby_applied_seq
+            .fetch_max(applied_seq, Ordering::AcqRel);
+        self.standby_commits_behind
+            .store(commits_behind, Ordering::Relaxed);
+        self.standby_bytes_behind
+            .store(bytes_behind, Ordering::Relaxed);
+    }
+
+    /// Retention truncated below the standby's cursor and its state was
+    /// rebuilt from the covering checkpoint.
+    pub fn record_standby_rebootstrap(&self) {
+        self.standby_rebootstraps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A tail poll failed. Recoverable errors leave the loop running;
+    /// pair with [`Health::record_tail_exit`] when the loop dies.
+    pub fn record_tail_error(&self, class: ErrorClass, err: &io::Error) {
+        self.tail_errors.fetch_add(1, Ordering::Relaxed);
+        *self.last_tail_error.lock() = Some((class, err.to_string()));
+    }
+
+    /// The tail loop exited for good (fatal error, wedged log, or thread
+    /// death). The applied watermark is frozen: observers must see a
+    /// classified error, not a silently stale standby.
+    pub fn record_tail_exit(&self, class: ErrorClass, err: &io::Error) {
+        self.record_tail_error(class, err);
+        self.tail_exited.store(true, Ordering::Release);
+        self.tail_heartbeat_nanos.store(NEVER, Ordering::Release);
+    }
+
+    /// The standby was promoted: the lag slots are zeroed (a promoted
+    /// engine has no one to lag behind) and the watchdog is disarmed.
+    pub fn standby_promoted(&self) {
+        self.promoted.store(true, Ordering::Release);
+        self.standby_commits_behind.store(0, Ordering::Relaxed);
+        self.standby_bytes_behind.store(0, Ordering::Relaxed);
+        self.tail_heartbeat_nanos.store(NEVER, Ordering::Release);
+    }
+
+    /// Highest commit seq the standby has applied.
+    pub fn standby_applied_seq(&self) -> u64 {
+        self.standby_applied_seq.load(Ordering::Acquire)
+    }
+
+    /// Commits the most recent tail poll found waiting (0 when caught up
+    /// or promoted).
+    pub fn standby_commits_behind(&self) -> u64 {
+        self.standby_commits_behind.load(Ordering::Relaxed)
+    }
+
+    /// Log bytes the most recent tail poll could not yet apply.
+    pub fn standby_bytes_behind(&self) -> u64 {
+        self.standby_bytes_behind.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint re-bootstraps forced by retention, lifetime total.
+    pub fn standby_rebootstraps(&self) -> u64 {
+        self.standby_rebootstraps.load(Ordering::Relaxed)
+    }
+
+    /// Tail errors recorded.
+    pub fn tail_errors(&self) -> u64 {
+        self.tail_errors.load(Ordering::Relaxed)
+    }
+
+    /// Class and message of the most recent tail error.
+    pub fn last_tail_error(&self) -> Option<(ErrorClass, String)> {
+        self.last_tail_error.lock().clone()
+    }
+
+    /// Whether the tail loop has exited for good.
+    pub fn tail_exited(&self) -> bool {
+        self.tail_exited.load(Ordering::Acquire)
+    }
+
+    /// Whether this standby has been promoted.
+    pub fn promoted(&self) -> bool {
+        self.promoted.load(Ordering::Acquire)
+    }
+
+    /// Tail watchdog: `true` when the standby *should* be polling but no
+    /// poll has stamped the heartbeat within the watchdog budget — a
+    /// stalled (wedged, deadlocked, or silently dead) tail thread.
+    /// Disarmed until the first poll, after promotion, and after a
+    /// recorded tail exit (those surface via [`Health::tail_exited`]).
+    pub fn tail_stalled(&self) -> bool {
+        match self.tail_heartbeat_nanos.load(Ordering::Acquire) {
+            NEVER => false,
+            n => self.started.elapsed().saturating_sub(Duration::from_nanos(n)) > self.watchdog,
+        }
+    }
 }
 
 impl std::fmt::Debug for Health {
@@ -481,6 +618,72 @@ mod tests {
         assert!(h.stalled(), "overdue cycle must trip the watchdog");
         h.cycle_succeeded();
         assert!(!h.stalled(), "completed cycle must clear the watchdog");
+    }
+
+    #[test]
+    fn standby_lag_advances_while_tailing_and_resets_on_promotion() {
+        let h = Health::new(3, Duration::from_secs(1));
+        assert_eq!(h.standby_applied_seq(), 0);
+        assert!(!h.tail_stalled(), "watchdog disarmed before the first poll");
+
+        // Poll 1: 5 commits were waiting, all applied, clean tail.
+        h.tail_heartbeat();
+        h.record_standby_lag(5, 5, 0);
+        assert_eq!(h.standby_applied_seq(), 5);
+        assert_eq!(h.standby_commits_behind(), 5);
+
+        // Poll 2: the primary pulled further ahead between polls — lag
+        // advances — and the tail ends mid-append (pending bytes).
+        h.tail_heartbeat();
+        h.record_standby_lag(40, 35, 17);
+        assert_eq!(h.standby_applied_seq(), 40);
+        assert_eq!(h.standby_commits_behind(), 35);
+        assert_eq!(h.standby_bytes_behind(), 17);
+
+        // The applied watermark is monotonic even if a racy reader
+        // records a stale value.
+        h.record_standby_lag(12, 0, 0);
+        assert_eq!(h.standby_applied_seq(), 40);
+
+        h.record_standby_rebootstrap();
+        assert_eq!(h.standby_rebootstraps(), 1);
+
+        h.standby_promoted();
+        assert!(h.promoted());
+        assert_eq!(h.standby_commits_behind(), 0, "promotion resets lag");
+        assert_eq!(h.standby_bytes_behind(), 0);
+        assert!(!h.tail_stalled(), "promotion disarms the tail watchdog");
+        assert_eq!(
+            h.standby_applied_seq(),
+            40,
+            "the sealed watermark survives promotion"
+        );
+    }
+
+    #[test]
+    fn dead_or_stalled_tail_surfaces_as_classified_error() {
+        let h = Health::new(3, Duration::from_millis(2));
+        // A stalled tail: one heartbeat, then silence past the watchdog.
+        h.tail_heartbeat();
+        h.record_standby_lag(3, 3, 0);
+        assert!(!h.tail_stalled());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(h.tail_stalled(), "silent tail thread must trip the watchdog");
+        assert_eq!(h.standby_applied_seq(), 3, "watermark frozen, not advancing");
+
+        // A dead tail: the loop records a classified exit instead of
+        // freezing silently.
+        let err = io::Error::new(io::ErrorKind::InvalidData, "sealed segment torn");
+        h.record_tail_exit(ErrorClass::Fatal, &err);
+        assert!(h.tail_exited());
+        assert_eq!(h.tail_errors(), 1);
+        let (class, msg) = h.last_tail_error().expect("classified error recorded");
+        assert_eq!(class, ErrorClass::Fatal);
+        assert!(msg.contains("sealed segment torn"));
+        assert!(
+            !h.tail_stalled(),
+            "an exited tail reports via tail_exited, not a stuck watchdog"
+        );
     }
 
     #[test]

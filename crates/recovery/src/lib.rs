@@ -28,9 +28,11 @@
 
 pub mod logfile;
 pub mod replay;
+pub mod tailer;
 
 pub use logfile::{
     read_dir_logs, truncate_segments_below, CommandLogReader, CommandLogWriter,
     SegmentedLogWriter, TruncateStats,
 };
-pub use replay::{recover, recover_checkpoint_only, RecoveryError, RecoveryOutcome};
+pub use replay::{apply_commit, recover, recover_checkpoint_only, RecoveryError, RecoveryOutcome};
+pub use tailer::{LogTailer, TailPoll, TailStatus};

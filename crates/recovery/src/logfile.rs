@@ -342,7 +342,7 @@ impl CommandLogReader {
 /// What decoding the next record produced. Multi-segment readers need to
 /// tell a cleanly-ended segment (continue with the next one) from a torn
 /// or corrupt record (stop the whole scan).
-enum ReadOutcome {
+pub(crate) enum ReadOutcome {
     Record(CommitRecord),
     CleanEof,
     /// Torn tail or corrupt record — the rest of the log is untrusted.
@@ -359,7 +359,7 @@ fn read_one(input: &mut impl Read) -> io::Result<Option<CommitRecord>> {
     }
 }
 
-fn read_one_outcome(input: &mut impl Read) -> io::Result<ReadOutcome> {
+pub(crate) fn read_one_outcome(input: &mut impl Read) -> io::Result<ReadOutcome> {
     let mut head = [0u8; 8];
     match read_exact_or_eof(input, &mut head)? {
         Filled::Full => {}

@@ -209,7 +209,12 @@ pub fn recover_checkpoint_only(
     })
 }
 
-fn replay_record(
+/// Deterministically re-applies one committed record through the
+/// registry, stamping the commit with the strategy's *current* phase
+/// stamp. This is the single-record unit [`recover_streamed`] loops
+/// over, exposed so a warm standby (`calc-replica`) can apply a live
+/// log tail incrementally with identical semantics to one-shot replay.
+pub fn apply_commit(
     strategy: &dyn CheckpointStrategy,
     registry: &ProcRegistry,
     rec: &CommitRecord,
@@ -286,7 +291,7 @@ pub fn recover_streamed(
         if rec.seq <= outcome.watermark {
             continue; // already reflected in the checkpoint
         }
-        replay_record(strategy, registry, &rec)?;
+        apply_commit(strategy, registry, &rec)?;
         outcome.replayed += 1;
     }
     outcome.replay_duration = replay_start.elapsed();

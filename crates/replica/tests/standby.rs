@@ -1,0 +1,495 @@
+//! End-to-end standby tests over the real filesystem: a mini primary
+//! (direct strategy calls + a segmented log writer, the sim driver's
+//! serial idiom) feeds durable state to a [`Standby`] tailing the same
+//! directories.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use calc_common::types::{Key, TxnId};
+use calc_common::vfs::{OsVfs, Vfs};
+use calc_core::manifest::CheckpointDir;
+use calc_core::strategy::{CheckpointStrategy, NoopEnv};
+use calc_core::throttle::Throttle;
+use calc_engine::{Database, EngineConfig, StandbyOf, StrategyKind, TxnOutcome};
+use calc_recovery::{truncate_segments_below, SegmentedLogWriter};
+use calc_replica::{Standby, StandbyConfig, StandbyRunner};
+use calc_storage::dual::StoreConfig;
+use calc_txn::commitlog::{CommitLog, CommitRecord};
+use calc_txn::proc::{
+    params, AbortReason, LockRequest, ProcId, ProcRegistry, Procedure, TxnOps,
+};
+
+const SET: ProcId = ProcId(7);
+const DELETE: ProcId = ProcId(8);
+
+struct SetProc;
+impl Procedure for SetProc {
+    fn id(&self) -> ProcId {
+        SET
+    }
+    fn name(&self) -> &'static str {
+        "standby-set"
+    }
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = params::Reader::new(p);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = params::Reader::new(p);
+        let key = Key(r.u64()?);
+        let val = r.bytes()?;
+        if ops.get(key).is_some() {
+            ops.put(key, val);
+        } else {
+            ops.insert(key, val);
+        }
+        Ok(())
+    }
+}
+
+struct DeleteProc;
+impl Procedure for DeleteProc {
+    fn id(&self) -> ProcId {
+        DELETE
+    }
+    fn name(&self) -> &'static str {
+        "standby-delete"
+    }
+    fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+        let mut r = params::Reader::new(p);
+        Ok(LockRequest {
+            reads: vec![],
+            writes: vec![Key(r.u64()?)],
+        })
+    }
+    fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+        let mut r = params::Reader::new(p);
+        ops.delete(Key(r.u64()?));
+        Ok(())
+    }
+}
+
+fn registry() -> ProcRegistry {
+    let mut r = ProcRegistry::new();
+    r.register(Arc::new(SetProc));
+    r.register(Arc::new(DeleteProc));
+    r
+}
+
+fn store_config() -> StoreConfig {
+    StoreConfig::for_records(1024, 64)
+}
+
+fn tmp(name: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!(
+        "calc-standby-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    (base.join("ckpts"), base.join("cmdlog"))
+}
+
+/// A serial mini-primary: same durable footprint as the engine
+/// (checkpoint dir + segmented command log), driven directly.
+struct Primary {
+    dir: CheckpointDir,
+    strategy: Arc<dyn CheckpointStrategy>,
+    log: Arc<CommitLog>,
+    writer: SegmentedLogWriter,
+    next_txn: u64,
+}
+
+impl Primary {
+    fn open(
+        vfs: Arc<dyn Vfs>,
+        ckpt_dir: &Path,
+        log_dir: &Path,
+        segment_bytes: u64,
+    ) -> Self {
+        let dir =
+            CheckpointDir::open_with_vfs(ckpt_dir, Arc::new(Throttle::unlimited()), vfs.clone())
+                .unwrap();
+        let log = Arc::new(CommitLog::new(false));
+        let strategy = StrategyKind::Calc.build(store_config(), log.clone());
+        let writer = SegmentedLogWriter::create(vfs, log_dir, segment_bytes).unwrap();
+        Primary {
+            dir,
+            strategy,
+            log,
+            writer,
+            next_txn: 0,
+        }
+    }
+
+    fn commit(&mut self, proc: ProcId, p: Arc<[u8]>) -> u64 {
+        let reg = registry();
+        let procedure = reg.get(proc).unwrap();
+        struct Bridge<'a> {
+            strategy: &'a dyn CheckpointStrategy,
+            token: calc_core::strategy::TxnToken,
+        }
+        impl TxnOps for Bridge<'_> {
+            fn get(&mut self, key: Key) -> Option<calc_common::types::Value> {
+                self.strategy.get(key)
+            }
+            fn put(&mut self, key: Key, value: &[u8]) {
+                self.strategy.apply_write(&mut self.token, key, value).unwrap();
+            }
+            fn insert(&mut self, key: Key, value: &[u8]) -> bool {
+                self.strategy.apply_insert(&mut self.token, key, value).unwrap()
+            }
+            fn delete(&mut self, key: Key) -> bool {
+                self.strategy.apply_delete(&mut self.token, key).is_ok()
+            }
+        }
+        let mut bridge = Bridge {
+            strategy: self.strategy.as_ref(),
+            token: self.strategy.txn_begin(),
+        };
+        procedure.run(&p, &mut bridge).unwrap();
+        let mut token = bridge.token;
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let (seq, stamp) = self.log.append_commit(txn, proc, p.clone());
+        self.writer
+            .append(&CommitRecord {
+                seq,
+                txn,
+                proc,
+                params: p,
+            })
+            .unwrap();
+        self.strategy.on_commit(&mut token, seq, stamp);
+        self.strategy.txn_end(token);
+        seq.0
+    }
+
+    fn set(&mut self, key: u64, val: &[u8]) -> u64 {
+        self.commit(SET, params::Writer::new().u64(key).bytes(val).finish())
+    }
+
+    fn delete(&mut self, key: u64) -> u64 {
+        self.commit(DELETE, params::Writer::new().u64(key).finish())
+    }
+
+    fn sync(&mut self) {
+        self.writer.sync().unwrap();
+    }
+
+    fn checkpoint(&self) -> u64 {
+        self.strategy.checkpoint(&NoopEnv, &self.dir).unwrap().watermark.0
+    }
+}
+
+fn standby_config(ckpt_dir: &Path, log_dir: &Path) -> StandbyConfig {
+    StandbyConfig::new(
+        StrategyKind::Calc,
+        store_config(),
+        ckpt_dir.to_path_buf(),
+        log_dir.to_path_buf(),
+    )
+}
+
+#[test]
+fn bootstraps_from_chain_then_tails_new_commits() {
+    let (ckpt_dir, log_dir) = tmp("bootstrap-tail");
+    let mut primary = Primary::open(Arc::new(OsVfs), &ckpt_dir, &log_dir, 1 << 20);
+    for k in 0..10u64 {
+        primary.set(k, format!("v{k}").as_bytes());
+    }
+    primary.sync();
+    let watermark = primary.checkpoint();
+
+    let mut standby = Standby::open(standby_config(&ckpt_dir, &log_dir), registry()).unwrap();
+    // Bootstrapped straight from the checkpoint chain, before any poll.
+    assert_eq!(standby.applied_seq(), watermark);
+    assert_eq!(standby.record_count(), 10);
+
+    // New commits stream in; polls apply exactly the new suffix (the log
+    // still holds the pre-checkpoint prefix, which must be skipped, not
+    // re-applied).
+    for k in 0..5u64 {
+        primary.set(k, b"updated");
+    }
+    let deleted_at = primary.delete(9);
+    primary.sync();
+    let poll = standby.poll().unwrap();
+    assert_eq!(poll.applied, 6, "only the post-checkpoint suffix applies");
+    assert_eq!(poll.applied_seq, deleted_at);
+    assert!(!poll.wedged && !poll.rebootstrapped);
+    assert_eq!(standby.get(Key(3)).unwrap().as_ref(), b"updated");
+    assert_eq!(standby.get(Key(7)).unwrap().as_ref(), b"v7");
+    assert!(standby.get(Key(9)).is_none(), "delete must replicate");
+    assert_eq!(standby.record_count(), 9);
+
+    // Idle poll: no progress, no noise.
+    let idle = standby.poll().unwrap();
+    assert_eq!(idle.applied, 0);
+    assert_eq!(idle.pending_bytes, 0);
+
+    let health = standby.health();
+    assert_eq!(health.standby_applied_seq(), deleted_at);
+    assert!(!health.tail_exited());
+}
+
+#[test]
+fn promote_seals_prefix_and_serves_through_engine() {
+    let (ckpt_dir, log_dir) = tmp("promote");
+    let mut primary = Primary::open(Arc::new(OsVfs), &ckpt_dir, &log_dir, 1 << 20);
+    for k in 0..8u64 {
+        primary.set(k, format!("p{k}").as_bytes());
+    }
+    primary.sync();
+    primary.checkpoint();
+    let last = {
+        let mut last = 0;
+        for k in 8..12u64 {
+            last = primary.set(k, b"tail");
+        }
+        primary.sync();
+        last
+    };
+    drop(primary); // primary is dead; its durable state remains
+
+    let mut standby = Standby::open(standby_config(&ckpt_dir, &log_dir), registry()).unwrap();
+    standby.poll().unwrap();
+    let promoted = standby.promote().unwrap();
+    assert_eq!(promoted.watermark(), last);
+    assert_eq!(promoted.record_count(), 12);
+    assert!(promoted.health().promoted());
+
+    // The promoted node serves through a full engine: new commits land
+    // above the sealed watermark, in a fresh log segment.
+    let mut config = EngineConfig::new(StrategyKind::Calc, 1024, 64, ckpt_dir.clone());
+    config.store = store_config();
+    config.workers = 1;
+    config.retain_command_log = true;
+    config.log_segment_bytes = Some(1 << 20);
+    let db = promoted.into_database(config).unwrap();
+    let outcome = db.execute(SET, params::Writer::new().u64(100).bytes(b"post").finish());
+    match outcome {
+        TxnOutcome::Committed(seq) => assert!(
+            seq.0 > last,
+            "post-promotion commit seq {} must exceed sealed watermark {last}",
+            seq.0
+        ),
+        TxnOutcome::Aborted(r) => panic!("post-promotion txn aborted: {r:?}"),
+    }
+    assert_eq!(db.get(Key(100)).unwrap().as_ref(), b"post");
+    assert_eq!(db.get(Key(3)).unwrap().as_ref(), b"p3");
+    assert_eq!(db.record_count(), 13);
+    // The promoted engine can checkpoint its inherited state.
+    let stats = db.checkpoint_now().unwrap();
+    assert!(stats.watermark.0 > last);
+    db.shutdown();
+}
+
+#[test]
+fn promote_opens_fresh_log_segment_above_survivors() {
+    let (ckpt_dir, log_dir) = tmp("promote-segment");
+    // Tiny segments force rotation so survivors span several indices.
+    let mut primary = Primary::open(Arc::new(OsVfs), &ckpt_dir, &log_dir, 512);
+    for k in 0..20u64 {
+        primary.set(k, &[k as u8; 48]);
+    }
+    primary.sync();
+    primary.checkpoint();
+    drop(primary);
+
+    let vfs = OsVfs;
+    let before = calc_recovery::logfile::list_segments(&vfs, &log_dir).unwrap();
+    let highest = before.last().unwrap().0;
+
+    let mut standby = Standby::open(standby_config(&ckpt_dir, &log_dir), registry()).unwrap();
+    standby.poll().unwrap();
+    let promoted = standby.promote().unwrap();
+    let writer = promoted.open_log(512).unwrap();
+    assert!(
+        writer.active_index() > highest,
+        "fresh segment {} must seal above survivor {highest}",
+        writer.active_index()
+    );
+}
+
+#[test]
+fn refuses_non_transaction_consistent_strategies() {
+    let (ckpt_dir, log_dir) = tmp("refuse-fuzzy");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let mut cfg = standby_config(&ckpt_dir, &log_dir);
+    cfg.kind = StrategyKind::Fuzzy;
+    let err = match Standby::open(cfg, registry()) {
+        Ok(_) => panic!("fuzzy standby must be refused"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("transaction-consistent"), "{err}");
+}
+
+#[test]
+fn retention_truncation_behind_cursor_rebootstraps_without_loss() {
+    let (ckpt_dir, log_dir) = tmp("retention-rebootstrap");
+    let vfs: Arc<dyn Vfs> = Arc::new(OsVfs);
+    let mut primary = Primary::open(vfs.clone(), &ckpt_dir, &log_dir, 512);
+    // Anchor the standby early, at segment 0.
+    for k in 0..4u64 {
+        primary.set(k, &[1u8; 48]);
+    }
+    primary.sync();
+    let mut standby = Standby::open(standby_config(&ckpt_dir, &log_dir), registry()).unwrap();
+    let first = standby.poll().unwrap();
+    assert_eq!(first.applied, 4);
+
+    // The primary races ahead: rotations, a covering checkpoint, then
+    // retention deletes every sealed segment below the watermark —
+    // including the standby's cursor segment.
+    let mut last = 0;
+    for k in 4..24u64 {
+        last = primary.set(k, &[2u8; 48]);
+    }
+    primary.sync();
+    let watermark = primary.checkpoint();
+    // The checkpoint watermark is the Resolve-transition seq — above the
+    // last commit (phase markers consume seqs too).
+    assert!(watermark > last);
+    let stats =
+        truncate_segments_below(vfs.as_ref(), &log_dir, calc_common::types::CommitSeq(watermark))
+            .unwrap();
+    assert!(stats.removed > 0, "retention must actually delete segments");
+
+    // The standby must neither error nor skip: the chain covers
+    // everything the deleted segments held, so it re-bootstraps.
+    let poll = standby.poll().unwrap();
+    assert!(poll.rebootstrapped, "{poll:?}");
+    assert_eq!(standby.applied_seq(), watermark);
+    assert_eq!(standby.rebootstraps(), 1);
+    assert_eq!(standby.record_count(), 24);
+    assert_eq!(standby.health().standby_rebootstraps(), 1);
+    for k in 0..4u64 {
+        assert_eq!(standby.get(Key(k)).unwrap().as_ref(), &[1u8; 48]);
+    }
+
+    // And tailing continues normally past the rebuild.
+    primary.set(99, b"after");
+    primary.sync();
+    let next = standby.poll().unwrap();
+    assert_eq!(next.applied, 1);
+    assert_eq!(standby.get(Key(99)).unwrap().as_ref(), b"after");
+}
+
+#[test]
+fn retention_truncation_below_applied_leaves_cursor_undisturbed() {
+    let (ckpt_dir, log_dir) = tmp("retention-keep");
+    let vfs: Arc<dyn Vfs> = Arc::new(OsVfs);
+    let mut primary = Primary::open(vfs.clone(), &ckpt_dir, &log_dir, 512);
+    let mut last = 0;
+    for k in 0..20u64 {
+        last = primary.set(k, &[3u8; 48]);
+    }
+    primary.sync();
+    let mut standby = Standby::open(standby_config(&ckpt_dir, &log_dir), registry()).unwrap();
+    standby.poll().unwrap();
+    assert_eq!(standby.applied_seq(), last);
+
+    // Checkpoint + retention now remove segments the standby has already
+    // applied past. A caught-up tailer's cursor sits in the newest
+    // segment, which legitimate truncation (strictly below the covering
+    // watermark) never deletes: the standby must not even notice.
+    let watermark = primary.checkpoint();
+    let stats =
+        truncate_segments_below(vfs.as_ref(), &log_dir, calc_common::types::CommitSeq(watermark))
+            .unwrap();
+    assert!(stats.removed > 0, "retention must actually delete segments");
+    let poll = standby.poll().unwrap();
+    assert!(!poll.rebootstrapped && !poll.wedged, "{poll:?}");
+    assert_eq!(standby.rebootstraps(), 0);
+    assert_eq!(standby.lost_prefix_events(), 0);
+    assert_eq!(standby.record_count(), 20);
+
+    // Tailing continues seamlessly across the retention event.
+    primary.set(7, b"fresh");
+    primary.sync();
+    standby.poll().unwrap();
+    assert_eq!(standby.get(Key(7)).unwrap().as_ref(), b"fresh");
+}
+
+#[test]
+fn abnormal_log_loss_without_covering_checkpoint_keeps_applied_state() {
+    // Defensive branch: the cursor's segments vanish but no checkpoint
+    // chain covers more than the standby already applied (operator error,
+    // or a crash quarantined the covering chain after truncation ran).
+    // Rebuilding would LOSE applied commits — the standby must keep its
+    // in-memory state and re-anchor, never error.
+    let (ckpt_dir, log_dir) = tmp("abnormal-loss");
+    std::fs::create_dir_all(&ckpt_dir).unwrap();
+    let mut primary = Primary::open(Arc::new(OsVfs), &ckpt_dir, &log_dir, 512);
+    let mut last = 0;
+    for k in 0..12u64 {
+        last = primary.set(k, &[4u8; 48]);
+    }
+    primary.sync();
+    let mut standby = Standby::open(standby_config(&ckpt_dir, &log_dir), registry()).unwrap();
+    standby.poll().unwrap();
+    assert_eq!(standby.applied_seq(), last);
+    drop(primary);
+
+    // Every segment disappears; no checkpoint was ever written.
+    for entry in std::fs::read_dir(&log_dir).unwrap() {
+        std::fs::remove_file(entry.unwrap().path()).unwrap();
+    }
+    let poll = standby.poll().unwrap();
+    assert!(!poll.rebootstrapped && !poll.wedged, "{poll:?}");
+    assert_eq!(standby.lost_prefix_events(), 1);
+    assert_eq!(standby.rebootstraps(), 0);
+    assert_eq!(standby.applied_seq(), last, "applied commits must survive");
+    assert_eq!(standby.record_count(), 12);
+    for k in 0..12u64 {
+        assert_eq!(standby.get(Key(k)).unwrap().as_ref(), &[4u8; 48]);
+    }
+}
+
+#[test]
+fn runner_tails_in_background_and_hands_back_for_promotion() {
+    let (ckpt_dir, log_dir) = tmp("runner");
+    let mut primary = Primary::open(Arc::new(OsVfs), &ckpt_dir, &log_dir, 1 << 20);
+    primary.set(1, b"one");
+    primary.sync();
+
+    let mut cfg = standby_config(&ckpt_dir, &log_dir);
+    cfg.poll_interval = std::time::Duration::from_millis(1);
+    let standby = Standby::open(cfg, registry()).unwrap();
+    let runner = StandbyRunner::spawn(standby);
+    let health = runner.health();
+
+    let last = primary.set(2, b"two");
+    primary.sync();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while health.standby_applied_seq() < last {
+        assert!(std::time::Instant::now() < deadline, "runner never caught up");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(!health.tail_stalled(), "live heartbeat must disarm watchdog");
+
+    let standby = runner.stop().unwrap();
+    let promoted = standby.promote().unwrap();
+    assert_eq!(promoted.watermark(), last);
+    assert_eq!(promoted.get(Key(2)).unwrap().as_ref(), b"two");
+}
+
+#[test]
+fn from_engine_requires_and_consumes_standby_of() {
+    let (ckpt_dir, log_dir) = tmp("from-engine");
+    let own_dir = ckpt_dir.join("own");
+    let mut config = EngineConfig::new(StrategyKind::Calc, 128, 64, own_dir);
+    assert!(StandbyConfig::from_engine(&config).is_err());
+    config.standby_of = Some(StandbyOf::new(ckpt_dir.clone(), log_dir.clone()));
+    let cfg = StandbyConfig::from_engine(&config).unwrap();
+    assert_eq!(cfg.checkpoint_dir, ckpt_dir);
+    assert_eq!(cfg.log_dir, log_dir);
+    // And the engine itself refuses to serve over the primary's state.
+    let err = Database::open(config, registry()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}

@@ -355,13 +355,20 @@ pub fn run_sim(spec: &SimSpec) -> Result<SimReport, OracleViolation> {
                 proc: proc_id,
                 params,
             };
+            // Recorded as committed *before* the append: the op already
+            // executed against the primary's state, and whether it turns
+            // durable is decided by how many of its log bytes survive the
+            // crash — prefix semantics cover both outcomes. Pushing after
+            // a successful append would make a torn-but-fully-surviving
+            // final record (executed, written, never acked) read as a
+            // resurrected write at the oracle.
+            committed.push((seq.0, op));
             if cmdlog.append(&rec).is_err() {
                 strategy.txn_end(token);
                 break 'live;
             }
             strategy.on_commit(&mut token, seq, stamp);
             strategy.txn_end(token);
-            committed.push((seq.0, op));
 
             if (i + 1) % spec.sync_every == 0 {
                 match cmdlog.sync() {

@@ -2,10 +2,11 @@
 # Full verification gate: tier-0 (clippy, deny warnings), tier-1 (build +
 # every workspace test), tier-2 (the deterministic crash-simulation suite
 # in calc-sim, including the 64-seed smoke sweep), tier-3 (the concurrency
-# conformance suite in calc-conform at three fixed base seeds), and tier-4
+# conformance suite in calc-conform at three fixed base seeds), tier-4
 # (the transient-fault sweep, run serially and again with 4-way parallel
-# checkpoint capture). Any failure panics with the exact replayable spec,
-# reproducible via e.g.:
+# checkpoint capture), and tier-5 (the two-node warm-standby failover
+# sweep at three fixed base seeds). Any failure panics with the exact
+# replayable spec, reproducible via e.g.:
 #
 #   SIM_SEED=0xdeadbeef cargo test -p calc-sim
 #   CONFORM_SEED=0xc0f020260000 cargo verify-conform
@@ -45,5 +46,11 @@ done
 echo "== tier-4: transient-fault sweep, 4-way parallel capture =="
 CKPT_THREADS=4 SIM_RECOVERY_STATS=1 \
     cargo test --package calc-sim --test fault_sweep --quiet
+
+echo "== tier-5: warm-standby failover sweep (calc-sim failover_sweep, 3 base seeds) =="
+for seed in 0xCA1C51B700000000 0x57A4DB1700000001 0xFA110E4200000002; do
+    echo "  -- SIM_SEED=${seed}"
+    SIM_SEED="${seed}" cargo test --package calc-sim --test failover_sweep --quiet
+done
 
 echo "verify: all gates green"
