@@ -20,10 +20,17 @@
 //!    standby that tailed the command log live: promotion latency (final
 //!    drain + seal) vs. cold recovery (chain load + log replay),
 //!    asserting the warm standby is ≥5× faster to serving.
+//! 6. **server** (ISSUE 8) — a real calc-server over loopback TCP under a
+//!    multi-connection durable-write load: throughput and p50/p99 commit
+//!    latency at several connection counts, with and without a concurrent
+//!    checkpoint, plus the per-commit-fsync baseline (`max_batch = 1`)
+//!    asserting group commit buys ≥2× throughput at ≥100 connections.
 //!
 //! Environment knobs: `BENCH_OUT` (output path, default
 //! `BENCH_pipeline.json`), `BENCH_RECORDS` (default 500_000),
-//! `BENCH_SMOKE_MS` (per-strategy run length, default 1200).
+//! `BENCH_SMOKE_MS` (per-strategy run length, default 1200),
+//! `BENCH_SERVER_CONNS` (comma-separated connection counts, default
+//! `100,400,1000`), `BENCH_SERVER_MS` (per-point run length, default 800).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -181,6 +188,86 @@ fn mean_ckpt_ms(result: &runner::RunResult) -> f64 {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// One server-load measurement: `conns` client connections hammer durable
+/// PUTs over loopback TCP for `run`, optionally with a concurrent
+/// checkpointer firing through the admin verb on its own connection.
+/// Returns `(tps, p50_us, p99_us)` of the acknowledged commits.
+fn server_load(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    run: Duration,
+    with_checkpoint: bool,
+) -> (f64, u64, u64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hist = Arc::new(calc_common::hist::Histogram::new());
+    let start = Instant::now();
+    // Spawned before the client flood: on a saturated host the first
+    // timeslice this thread gets may otherwise come after the window has
+    // already closed. The loop always fires at least one checkpoint
+    // before consulting `stop` for the same reason.
+    let checkpointer = with_checkpoint.then(|| {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = calc_server::Client::connect(addr).expect("bench ckpt client");
+            let mut cycles = 0u64;
+            loop {
+                c.checkpoint().expect("bench checkpoint");
+                cycles += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(run / 4);
+            }
+            cycles
+        })
+    });
+    let clients: Vec<_> = (0..conns)
+        .map(|i| {
+            let stop = stop.clone();
+            let hist = hist.clone();
+            std::thread::Builder::new()
+                .name(format!("bench-conn-{i}"))
+                .stack_size(128 << 10)
+                .spawn(move || {
+                    let mut c =
+                        calc_server::Client::connect(addr).expect("bench client connect");
+                    // Each connection cycles its own 64-key working set,
+                    // disjoint from every other connection and from the
+                    // preload (which lives below 1 << 32).
+                    let base = (i as u64 + 1) << 32;
+                    let payload = [7u8; 64];
+                    let mut count = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        c.put(base | (count & 0x3F), &payload).expect("bench put");
+                        hist.record(t.elapsed().as_micros() as u64);
+                        count += 1;
+                    }
+                    count
+                })
+                .expect("spawn bench client")
+        })
+        .collect();
+    std::thread::sleep(run);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = clients
+        .into_iter()
+        .map(|h| h.join().expect("bench client panicked"))
+        .sum();
+    let elapsed = start.elapsed();
+    if let Some(h) = checkpointer {
+        let cycles = h.join().expect("bench checkpointer panicked");
+        assert!(cycles > 0, "no checkpoint cycle completed during the run");
+    }
+    (
+        total as f64 / elapsed.as_secs_f64(),
+        hist.quantile(0.5),
+        hist.quantile(0.99),
+    )
 }
 
 fn main() {
@@ -418,6 +505,90 @@ fn main() {
         ms(cold_recovery)
     );
 
+    // ---- Section 6: the TCP front-end under multi-connection durable
+    // load (ISSUE 8). One group-commit server serves every point; the
+    // per-commit-fsync baseline (`max_batch = 1`) gets its own instance.
+    let server_ms = env_u64("BENCH_SERVER_MS", 800);
+    let server_run = Duration::from_millis(server_ms);
+    let server_conns: Vec<usize> = std::env::var("BENCH_SERVER_CONNS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![100, 400, 1000]);
+    let preloaded = 20_000u64;
+
+    eprintln!("pipeline: server — starting group-commit server…");
+    let mut window_us = 0u64;
+    let gc_db = calc_server::open_or_recover(&root.join("server-gc"), |c| {
+        window_us = c.group_commit_window.as_micros() as u64;
+    })
+    .expect("open server engine");
+    let gc_server = calc_server::Server::start(Arc::new(gc_db), "127.0.0.1:0")
+        .expect("bind bench server");
+    let gc_addr = gc_server.local_addr();
+    {
+        // Preload so every mid-run checkpoint captures a real store.
+        let mut c = calc_server::Client::connect(gc_addr).expect("preload client");
+        let payload = vec![7u8; 64];
+        for batch in 0..(preloaded / 100) {
+            let pairs: Vec<(u64, Vec<u8>)> = (0..100)
+                .map(|j| (batch * 100 + j, payload.clone()))
+                .collect();
+            c.mput(&pairs).expect("preload mput");
+        }
+    }
+    let mut server_points = Vec::new();
+    for &conns in &server_conns {
+        for with_checkpoint in [false, true] {
+            eprintln!(
+                "pipeline: server — {conns} connections{}…",
+                if with_checkpoint { " + concurrent checkpoint" } else { "" }
+            );
+            let (tps, p50, p99) = server_load(gc_addr, conns, server_run, with_checkpoint);
+            server_points.push((conns, with_checkpoint, tps, p50, p99));
+        }
+    }
+    let gc_db = gc_server.shutdown();
+    let Ok(gc_db) = Arc::try_unwrap(gc_db) else {
+        panic!("server shutdown must release the sole database handle");
+    };
+    gc_db.shutdown();
+
+    // Baseline: same wire path, same engine, but every commit pays its
+    // own fsync — the wall group commit exists to break.
+    let baseline_conns = *server_conns
+        .iter()
+        .find(|&&c| c >= 100)
+        .unwrap_or_else(|| server_conns.iter().max().expect("non-empty conns"));
+    eprintln!(
+        "pipeline: server — per-commit-fsync baseline at {baseline_conns} connections…"
+    );
+    let fsync_db = calc_server::open_or_recover(&root.join("server-fsync"), |c| {
+        c.group_commit_max_batch = 1;
+    })
+    .expect("open baseline engine");
+    let fsync_server = calc_server::Server::start(Arc::new(fsync_db), "127.0.0.1:0")
+        .expect("bind baseline server");
+    let (baseline_tps, baseline_p50, baseline_p99) =
+        server_load(fsync_server.local_addr(), baseline_conns, server_run, false);
+    let fsync_db = fsync_server.shutdown();
+    let Ok(fsync_db) = Arc::try_unwrap(fsync_db) else {
+        panic!("server shutdown must release the sole database handle");
+    };
+    fsync_db.shutdown();
+
+    let gc_tps = server_points
+        .iter()
+        .find(|(c, ck, ..)| *c == baseline_conns && !ck)
+        .map(|(_, _, tps, ..)| *tps)
+        .expect("group-commit point at the baseline connection count");
+    let server_speedup = gc_tps / baseline_tps.max(1e-9);
+    assert!(
+        server_speedup >= 2.0,
+        "group commit ({gc_tps:.0} tps) must be ≥2× per-commit fsync \
+         ({baseline_tps:.0} tps) at {baseline_conns} connections"
+    );
+
     // ---- Emit JSON (hand-rolled; every value is a number or plain name).
     let mut json = String::new();
     json.push_str("{\n");
@@ -486,11 +657,34 @@ fn main() {
     json.push_str("  },\n");
     json.push_str(&format!(
         "  \"failover\": {{\"records\": {records}, \"tail_records\": {tail_records}, \
-         \"cold_recovery_ms\": {:.3}, \"promote_ms\": {:.3}, \"speedup\": {:.1}}}\n",
+         \"cold_recovery_ms\": {:.3}, \"promote_ms\": {:.3}, \"speedup\": {:.1}}},\n",
         ms(cold_recovery),
         ms(promote),
         failover_speedup,
     ));
+    json.push_str("  \"server\": {\n");
+    json.push_str(&format!(
+        "    \"window_us\": {window_us}, \"preloaded_records\": {preloaded}, \
+         \"run_ms\": {server_ms},\n"
+    ));
+    json.push_str("    \"points\": [\n");
+    for (i, (conns, ckpt, tps, p50, p99)) in server_points.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"connections\": {conns}, \"concurrent_checkpoint\": {ckpt}, \
+             \"tps\": {tps:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}}}{}\n",
+            if i + 1 < server_points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"fsync_per_commit_baseline\": {{\"connections\": {baseline_conns}, \
+         \"tps\": {baseline_tps:.1}, \"p50_us\": {baseline_p50}, \
+         \"p99_us\": {baseline_p99}}},\n"
+    ));
+    json.push_str(&format!(
+        "    \"group_commit_speedup\": {server_speedup:.2}\n"
+    ));
+    json.push_str("  }\n");
     json.push_str("}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     eprintln!("pipeline: wrote {}", out_path.display());

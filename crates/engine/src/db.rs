@@ -18,7 +18,10 @@ use calc_core::strategy::{
 };
 use calc_core::throttle::Throttle;
 use calc_storage::dual::StoreError;
-use calc_recovery::{truncate_segments_below, CommandLogWriter, SegmentedLogWriter, TruncateStats};
+use calc_recovery::{
+    truncate_segments_below, CommandLogWriter, DurabilityTicket, GroupCommitConfig,
+    GroupCommitter, LogBackend, SegmentedLogWriter, TruncateStats,
+};
 use calc_txn::commitlog::{CommitLog, CommitRecord};
 use calc_txn::locks::LockManager;
 use calc_txn::proc::{AbortReason, ProcId, ProcRegistry, TxnOps};
@@ -36,75 +39,20 @@ pub enum TxnOutcome {
     Aborted(AbortReason),
 }
 
+/// Re-exported so existing engine callers keep their `SyncError` paths;
+/// the type now lives with the group-commit machinery it describes.
+pub use calc_recovery::SyncError;
+
 struct Request {
     proc: ProcId,
     params: Arc<[u8]>,
     submitted: Instant,
-    reply: Option<Sender<TxnOutcome>>,
+    /// Ack-after-fsync: the worker requests a [`DurabilityTicket`] for
+    /// the commit and hands it back with the outcome, so the *caller*
+    /// thread (not a worker) blocks on the batch fsync.
+    durable: bool,
+    reply: Option<Sender<(TxnOutcome, Option<DurabilityTicket>)>>,
 }
-
-/// Messages to the durable command-log thread.
-enum CmdlogMsg {
-    /// Append this commit to the log (group-committed).
-    Record(CommitRecord),
-    /// Sync everything appended so far, then acknowledge.
-    Flush(Sender<()>),
-}
-
-/// The durable command-log backend: one flat file
-/// ([`EngineConfig::command_log_path`]) or a rotating segment directory
-/// ([`EngineConfig::command_log_dir`]).
-enum LogSink {
-    Single(CommandLogWriter),
-    Segmented(SegmentedLogWriter),
-}
-
-impl LogSink {
-    fn append(&mut self, rec: &CommitRecord) -> io::Result<()> {
-        match self {
-            LogSink::Single(w) => w.append(rec),
-            LogSink::Segmented(w) => w.append(rec),
-        }
-    }
-
-    fn sync(&mut self) -> io::Result<()> {
-        match self {
-            LogSink::Single(w) => w.sync(),
-            LogSink::Segmented(w) => w.sync(),
-        }
-    }
-}
-
-/// Why [`Database::sync_command_log`] could not complete its flush
-/// handshake. None of these abort the process: a dead logger means the
-/// durable log stopped growing (degraded durability), not that the
-/// engine must die — callers decide how loudly to react.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum SyncError {
-    /// The logger thread had already exited (earlier append I/O error)
-    /// when the flush was submitted.
-    LoggerExited,
-    /// The logger died after accepting the flush, before acknowledging.
-    LoggerDied,
-    /// No acknowledgement within the timeout — the logger is wedged.
-    Timeout(Duration),
-}
-
-impl std::fmt::Display for SyncError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SyncError::LoggerExited => {
-                write!(f, "command logger exited before the flush (I/O error?)")
-            }
-            SyncError::LoggerDied => write!(f, "command logger died mid-flush (I/O error?)"),
-            SyncError::Timeout(d) => {
-                write!(f, "no flush acknowledgement within {d:?} (logger wedged)")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SyncError {}
 
 /// How long shutdown waits for a background thread before declaring the
 /// engine hung. Generous: a loaded drain of a deep queue is legitimate;
@@ -156,9 +104,10 @@ struct Inner {
     /// dropped so no merge races a post-run inspection of the checkpoint
     /// directory.
     mergers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    /// Durable command-log channel (None when command logging is off).
-    /// Taken (closed) at shutdown so the logger thread drains and syncs.
-    cmdlog_tx: Mutex<Option<Sender<CmdlogMsg>>>,
+    /// Durable command log behind a group-commit sync thread (None when
+    /// command logging is off). Taken (dropped) at shutdown so the sync
+    /// thread drains the queue and performs the final fsync.
+    cmdlog: Mutex<Option<GroupCommitter>>,
     partials_since_merge: AtomicU64,
     merge_batch: Option<usize>,
     /// Checkpointer health, shared with the service daemon and observers.
@@ -285,7 +234,6 @@ pub struct Database {
     inner: Arc<Inner>,
     sender: Option<Sender<Request>>,
     workers: Vec<std::thread::JoinHandle<()>>,
-    cmdlogger: Option<std::thread::JoinHandle<()>>,
     /// The supervised checkpoint daemon, when
     /// [`EngineConfig::checkpoint_interval`] is set.
     service: Option<CheckpointService>,
@@ -345,77 +293,44 @@ impl Database {
             CheckpointDir::open_with_vfs(&config.checkpoint_dir, Arc::new(throttle), config.vfs.clone())?;
         dir.set_checkpoint_threads(config.checkpoint_threads);
         dir.set_codec(config.codec);
-        // Durable command logging: a dedicated thread drains commit
-        // records and group-commits them (append many, fsync once) — the
-        // paper's §1 "logging of transactional input is generally far
-        // lighter weight than full ARIES logging".
-        let sink = if let Some(log_dir) = &config.command_log_dir {
-            Some(LogSink::Segmented(SegmentedLogWriter::create(
+        // Durable command logging: a dedicated sync thread group-commits
+        // concurrent appends (append many, fsync once per deadline-bounded
+        // batch) — the paper's §1 "logging of transactional input is
+        // generally far lighter weight than full ARIES logging".
+        let backend: Option<Box<dyn LogBackend>> = if let Some(log_dir) = &config.command_log_dir
+        {
+            Some(Box::new(SegmentedLogWriter::create(
                 config.vfs.clone(),
                 log_dir,
                 config.log_segment_bytes.unwrap_or(64 << 20),
             )?))
         } else if let Some(path) = &config.command_log_path {
-            Some(LogSink::Single(CommandLogWriter::create_with_vfs(
+            Some(Box::new(CommandLogWriter::create_with_vfs(
                 config.vfs.as_ref(),
                 path,
             )?))
         } else {
             None
         };
-        let (cmdlog_tx, cmdlogger) = match sink {
-            Some(mut writer) => {
-                let (tx, rx) = unbounded::<CmdlogMsg>();
-                let handle = std::thread::Builder::new()
-                    .name("calc-cmdlog".into())
-                    .spawn(move || {
-                        let mut pending = 0u32;
-                        loop {
-                            match rx.recv_timeout(Duration::from_millis(10)) {
-                                Ok(CmdlogMsg::Record(rec)) => {
-                                    if writer.append(&rec).is_err() {
-                                        // The log is broken: stop persisting,
-                                        // but keep draining until shutdown
-                                        // closes the channel. Dropping each
-                                        // message drops any Flush ack sender,
-                                        // so a queued or future handshake
-                                        // observes a dead logger immediately
-                                        // instead of wedging until its
-                                        // timeout (the engine's tx handle
-                                        // keeps queued messages alive even
-                                        // after this rx would be dropped).
-                                        while rx.recv().is_ok() {}
-                                        return;
-                                    }
-                                    pending += 1;
-                                    if pending >= 256 {
-                                        let _ = writer.sync();
-                                        pending = 0;
-                                    }
-                                }
-                                Ok(CmdlogMsg::Flush(ack)) => {
-                                    let _ = writer.sync();
-                                    pending = 0;
-                                    let _ = ack.send(());
-                                }
-                                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                                    if pending > 0 {
-                                        let _ = writer.sync();
-                                        pending = 0;
-                                    }
-                                }
-                                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                                    let _ = writer.sync();
-                                    return;
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn command logger");
-                (Some(tx), Some(handle))
-            }
-            None => (None, None),
-        };
+        // Health is created before the committer so every fsynced batch
+        // feeds the batch-size and flush-latency counters.
+        let health = Arc::new(Health::new(
+            config.checkpoint_tuning.degraded_after,
+            config.checkpoint_tuning.watchdog,
+        ));
+        let cmdlog = backend.map(|b| {
+            let observer_health = health.clone();
+            GroupCommitter::start(
+                b,
+                GroupCommitConfig {
+                    window: config.group_commit_window,
+                    max_batch: config.group_commit_max_batch.max(1),
+                },
+                Some(Box::new(move |records, fsync| {
+                    observer_health.record_commit_batch(records as u64, fsync);
+                })),
+            )
+        });
         let inner = Arc::new(Inner {
             strategy,
             log,
@@ -428,13 +343,10 @@ impl Database {
             checkpoint_serial: Mutex::new(()),
             merge_serial: Arc::new(Mutex::new(())),
             mergers: Mutex::new(Vec::new()),
-            cmdlog_tx: Mutex::new(cmdlog_tx),
+            cmdlog: Mutex::new(cmdlog),
             partials_since_merge: AtomicU64::new(0),
             merge_batch: config.merge_batch,
-            health: Arc::new(Health::new(
-                config.checkpoint_tuning.degraded_after,
-                config.checkpoint_tuning.watchdog,
-            )),
+            health,
             merge_retry_pending: AtomicBool::new(false),
             command_log_dir: config.command_log_dir.clone(),
             keep_checkpoints: config.keep_checkpoints,
@@ -472,7 +384,6 @@ impl Database {
             inner,
             sender: Some(tx),
             workers,
-            cmdlogger,
             service,
         })
     }
@@ -506,12 +417,18 @@ impl Database {
                 proc,
                 params,
                 submitted: Instant::now(),
+                durable: false,
                 reply: None,
             })
             .expect("workers alive");
     }
 
-    /// Executes a transaction synchronously, returning its outcome.
+    /// Executes a transaction synchronously, returning its outcome. The
+    /// acknowledgement is ack-before-fsync (the paper's low-latency
+    /// choice): the commit is in memory and enqueued on the durable log,
+    /// but its batch fsync may still be in flight — a crash can lose it,
+    /// bounded by [`EngineConfig::group_commit_window`]. Use
+    /// [`Database::execute_durable`] for ack-after-fsync.
     pub fn execute(&self, proc: ProcId, params: Arc<[u8]>) -> TxnOutcome {
         let (tx, rx) = bounded(1);
         self.sender
@@ -521,10 +438,53 @@ impl Database {
                 proc,
                 params,
                 submitted: Instant::now(),
+                durable: false,
                 reply: Some(tx),
             })
             .expect("workers alive");
-        rx.recv().expect("worker replies")
+        rx.recv().expect("worker replies").0
+    }
+
+    /// Executes a transaction and, if it commits, waits until its
+    /// group-commit batch has been fsynced before returning — an
+    /// acknowledged commit survives any later crash (ack-after-fsync,
+    /// the promise a network server must make).
+    ///
+    /// The fsync wait happens on *this* thread via a [`DurabilityTicket`],
+    /// never on a worker: under group commit many callers park here
+    /// concurrently while one batch fsync retires all of them. Without a
+    /// configured command log the outcome is returned immediately.
+    ///
+    /// `Err` means the transaction committed in memory but its durability
+    /// could not be confirmed (sync thread dead or wedged) — degraded
+    /// durability, not a rollback.
+    pub fn execute_durable(
+        &self,
+        proc: ProcId,
+        params: Arc<[u8]>,
+    ) -> Result<TxnOutcome, SyncError> {
+        let (tx, rx) = bounded(1);
+        self.sender
+            .as_ref()
+            .expect("database not shut down")
+            .send(Request {
+                proc,
+                params,
+                submitted: Instant::now(),
+                durable: true,
+                reply: Some(tx),
+            })
+            .expect("workers alive");
+        let (outcome, ticket) = rx.recv().expect("worker replies");
+        match (&outcome, ticket) {
+            (TxnOutcome::Committed(_), Some(ticket)) => {
+                ticket.wait(SHUTDOWN_JOIN_TIMEOUT)?;
+                Ok(outcome)
+            }
+            // Aborts carry no durability obligation; no command log means
+            // nothing to wait for.
+            _ => Ok(outcome),
+        }
     }
 
     /// Direct (non-transactional) point read.
@@ -666,12 +626,10 @@ impl Database {
         for h in self.inner.mergers.lock().drain(..) {
             join_bounded(h, "merger");
         }
-        // Close the command-log channel and wait for the final group
-        // commit, so the on-disk log is complete when drop returns.
-        drop(self.inner.cmdlog_tx.lock().take());
-        if let Some(h) = self.cmdlogger.take() {
-            join_bounded(h, "command logger");
-        }
+        // Drop the group committer last: its Drop closes the channel, the
+        // sync thread drains the remaining queue and performs the final
+        // batch fsync, so the on-disk log is complete when drop returns.
+        drop(self.inner.cmdlog.lock().take());
     }
 
     /// Forces an fsync of the durable command log: sends a flush request
@@ -685,24 +643,16 @@ impl Database {
     /// is intact, so the caller (not this method) decides whether that
     /// is fatal.
     pub fn sync_command_log(&self) -> Result<(), SyncError> {
-        let tx = self.inner.cmdlog_tx.lock().clone();
-        if let Some(tx) = tx {
-            let (ack_tx, ack_rx) = bounded(1);
-            if tx.send(CmdlogMsg::Flush(ack_tx)).is_err() {
-                return Err(SyncError::LoggerExited);
+        // Enqueue the flush under the lock (ordered against in-flight
+        // commit enqueues), wait on the ticket outside it.
+        let ticket = {
+            let guard = self.inner.cmdlog.lock();
+            match guard.as_ref() {
+                Some(gc) => gc.flush(),
+                None => return Ok(()),
             }
-            match ack_rx.recv_timeout(SHUTDOWN_JOIN_TIMEOUT) {
-                Ok(()) => Ok(()),
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    Err(SyncError::LoggerDied)
-                }
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    Err(SyncError::Timeout(SHUTDOWN_JOIN_TIMEOUT))
-                }
-            }
-        } else {
-            Ok(())
-        }
+        };
+        ticket.wait(SHUTDOWN_JOIN_TIMEOUT)
     }
 }
 
@@ -729,23 +679,30 @@ fn worker_loop(inner: &Inner, rx: &Receiver<Request>) {
         // Admission: held for the entire transaction, including the commit
         // hook, so a quiesce observes no in-flight commit work.
         let _admission = inner.gate.read();
-        let outcome = execute_one(inner, &req);
-        if let Some(reply) = req.reply {
-            let _ = reply.send(outcome);
+        let (outcome, ticket) = execute_one(inner, &req);
+        if let Some(reply) = &req.reply {
+            let _ = reply.send((outcome, ticket));
         }
     }
 }
 
-fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
+/// Runs one transaction. For a durable request that commits, the second
+/// element is the commit's [`DurabilityTicket`] — the worker never waits
+/// on it (a worker parked on an fsync would stall the whole pool behind
+/// one batch); the submitting thread does.
+fn execute_one(inner: &Inner, req: &Request) -> (TxnOutcome, Option<DurabilityTicket>) {
     let Some(proc) = inner.registry.get(req.proc) else {
-        return TxnOutcome::Aborted(AbortReason::BadParams(format!(
-            "unknown procedure {:?}",
-            req.proc
-        )));
+        return (
+            TxnOutcome::Aborted(AbortReason::BadParams(format!(
+                "unknown procedure {:?}",
+                req.proc
+            ))),
+            None,
+        );
     };
     let lock_request = match proc.locks(&req.params) {
         Ok(r) => r,
-        Err(e) => return TxnOutcome::Aborted(e),
+        Err(e) => return (TxnOutcome::Aborted(e), None),
     };
     let lockset = lock_request.to_lock_set();
     let guard = inner.locks.acquire(&lockset);
@@ -768,27 +725,35 @@ fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
         mut undo, failed, ..
     } = ops;
 
-    let outcome = match (result, failed) {
+    let (outcome, ticket) = match (result, failed) {
         (Ok(()), None) => {
             let txn_id = TxnId(inner.txn_counter.fetch_add(1, Ordering::Relaxed));
             // Sequence assignment and the durable-log enqueue must be one
-            // atomic step: otherwise two workers can hand the logger
+            // atomic step: otherwise two workers can hand the sync thread
             // records out of seq order, and deterministic replay (which
-            // consumes the log front to back) would reorder commits.
-            let (seq, stamp) = {
-                let cmdlog = inner.cmdlog_tx.lock();
+            // consumes the log front to back) would reorder commits. The
+            // enqueue never blocks on the disk, so holding the lock across
+            // it costs a channel send, not an fsync.
+            let (seq, stamp, ticket) = {
+                let cmdlog = inner.cmdlog.lock();
                 let (seq, stamp) = inner
                     .log
                     .append_commit(txn_id, req.proc, req.params.clone());
-                if let Some(tx) = cmdlog.as_ref() {
-                    let _ = tx.send(CmdlogMsg::Record(CommitRecord {
+                let ticket = cmdlog.as_ref().map(|gc| {
+                    let rec = CommitRecord {
                         seq,
                         txn: txn_id,
                         proc: req.proc,
                         params: req.params.clone(),
-                    }));
-                }
-                (seq, stamp)
+                    };
+                    if req.durable {
+                        Some(gc.submit_durable(rec))
+                    } else {
+                        gc.submit(rec);
+                        None
+                    }
+                });
+                (seq, stamp, ticket.flatten())
             };
             inner.strategy.on_commit(&mut token, seq, stamp);
             #[cfg(feature = "conform")]
@@ -802,12 +767,12 @@ fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
                     ops: trace.unwrap_or_default(),
                 });
             }
-            TxnOutcome::Committed(seq)
+            (TxnOutcome::Committed(seq), ticket)
         }
         (Err(e), _) | (Ok(()), Some(e)) => {
             undo.reverse();
             inner.strategy.on_abort(&mut token, &undo);
-            TxnOutcome::Aborted(e)
+            (TxnOutcome::Aborted(e), None)
         }
     };
     // Record metrics before releasing locks: a later transaction on the
@@ -820,7 +785,7 @@ fn execute_one(inner: &Inner, req: &Request) -> TxnOutcome {
     }
     drop(guard);
     inner.strategy.txn_end(token);
-    outcome
+    (outcome, ticket)
 }
 
 /// Bridges procedure logic to the strategy's apply hooks, recording undo

@@ -152,6 +152,17 @@ pub struct Health {
     tail_exited: AtomicBool,
     /// The standby was promoted: lag slots are final, not live.
     promoted: AtomicBool,
+    /// Group-commit batches fsynced, lifetime total.
+    commit_batches: AtomicU64,
+    /// Commit records made durable across all batches (the numerator of
+    /// the average batch size).
+    commit_batch_records: AtomicU64,
+    /// Per-batch fsync latency in nanoseconds.
+    fsync_latency: Histogram,
+    /// Server connections accepted, lifetime total.
+    connections_opened: AtomicU64,
+    /// Server connections closed, lifetime total.
+    connections_closed: AtomicU64,
 }
 
 impl Health {
@@ -189,6 +200,11 @@ impl Health {
             tail_heartbeat_nanos: AtomicU64::new(NEVER),
             tail_exited: AtomicBool::new(false),
             promoted: AtomicBool::new(false),
+            commit_batches: AtomicU64::new(0),
+            commit_batch_records: AtomicU64::new(0),
+            fsync_latency: Histogram::new(),
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
         }
     }
 
@@ -364,6 +380,65 @@ impl Health {
     /// Failed retention passes.
     pub fn retention_failures(&self) -> u64 {
         self.retention_failures.load(Ordering::Relaxed)
+    }
+
+    // --- group commit & server connections ---
+
+    /// Records one successful group-commit batch: how many commit records
+    /// it made durable and how long its fsync took. Fed by the engine's
+    /// [`calc_recovery::GroupCommitter`] batch observer.
+    pub fn record_commit_batch(&self, records: u64, fsync: Duration) {
+        self.commit_batches.fetch_add(1, Ordering::Relaxed);
+        self.commit_batch_records.fetch_add(records, Ordering::Relaxed);
+        self.fsync_latency.record(fsync.as_nanos() as u64);
+    }
+
+    /// Group-commit batches fsynced, lifetime total.
+    pub fn commit_batches(&self) -> u64 {
+        self.commit_batches.load(Ordering::Relaxed)
+    }
+
+    /// Commit records made durable across all batches.
+    pub fn commit_batch_records(&self) -> u64 {
+        self.commit_batch_records.load(Ordering::Relaxed)
+    }
+
+    /// Mean records per fsync — the amortization factor group commit
+    /// achieves (1.0 means every commit paid its own fsync).
+    pub fn avg_batch_size(&self) -> f64 {
+        let batches = self.commit_batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.commit_batch_records() as f64 / batches as f64
+    }
+
+    /// 99th-percentile batch fsync latency in microseconds (0 before the
+    /// first batch).
+    pub fn fsync_p99_us(&self) -> u64 {
+        self.fsync_latency.quantile(0.99) / 1_000
+    }
+
+    /// A server connection was accepted.
+    pub fn connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A server connection was closed.
+    pub fn connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open (opened minus closed).
+    pub fn active_connections(&self) -> u64 {
+        self.connections_opened
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.connections_closed.load(Ordering::Relaxed))
+    }
+
+    /// Connections accepted over the engine's lifetime.
+    pub fn total_connections(&self) -> u64 {
+        self.connections_opened.load(Ordering::Relaxed)
     }
 
     /// Background merges that failed.
@@ -696,6 +771,43 @@ mod tests {
         assert_eq!(m.aborted(), 1);
         assert_eq!(m.latency.count(), 2);
         assert!(m.latency.max() >= 300_000);
+    }
+
+    #[test]
+    fn group_commit_counters_track_batches_and_fsync_latency() {
+        let h = Health::new(3, Duration::from_secs(1));
+        assert_eq!(h.commit_batches(), 0);
+        assert_eq!(h.avg_batch_size(), 0.0, "no batches yet");
+        assert_eq!(h.fsync_p99_us(), 0);
+
+        h.record_commit_batch(10, Duration::from_micros(500));
+        h.record_commit_batch(30, Duration::from_micros(1500));
+        assert_eq!(h.commit_batches(), 2);
+        assert_eq!(h.commit_batch_records(), 40);
+        assert!((h.avg_batch_size() - 20.0).abs() < f64::EPSILON);
+        // p99 lands on the slowest recorded fsync (histogram buckets are
+        // approximate upward, never below the true value's bucket floor).
+        assert!(h.fsync_p99_us() >= 1000, "p99 {}us", h.fsync_p99_us());
+    }
+
+    #[test]
+    fn connection_counters_balance_open_and_close() {
+        let h = Health::new(3, Duration::from_secs(1));
+        assert_eq!(h.active_connections(), 0);
+        h.connection_opened();
+        h.connection_opened();
+        h.connection_opened();
+        assert_eq!(h.active_connections(), 3);
+        assert_eq!(h.total_connections(), 3);
+        h.connection_closed();
+        assert_eq!(h.active_connections(), 2);
+        h.connection_closed();
+        h.connection_closed();
+        assert_eq!(h.active_connections(), 0);
+        // A stray double-close must not underflow.
+        h.connection_closed();
+        assert_eq!(h.active_connections(), 0);
+        assert_eq!(h.total_connections(), 3, "total is monotone");
     }
 
     #[test]

@@ -26,10 +26,14 @@
 
 #![warn(missing_docs)]
 
+pub mod group_commit;
 pub mod logfile;
 pub mod replay;
 pub mod tailer;
 
+pub use group_commit::{
+    BatchObserver, DurabilityTicket, GroupCommitConfig, GroupCommitter, LogBackend, SyncError,
+};
 pub use logfile::{
     read_dir_logs, truncate_segments_below, CommandLogReader, CommandLogWriter,
     SegmentedLogWriter, TruncateStats,

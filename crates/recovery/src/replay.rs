@@ -263,6 +263,12 @@ pub fn apply_commit(
 /// Full recovery: load the newest chain, then deterministically replay
 /// `commands` (commit records with `seq > watermark`, in order) through
 /// the registry. Refuses non-transaction-consistent strategies.
+///
+/// A directory with NO checkpoints at all is a valid cold start (a crash
+/// before the first checkpoint completed): recovery proceeds log-only,
+/// replaying every command from the empty state. Checkpoints present but
+/// no full one is still [`RecoveryError::NoFullCheckpoint`] — that chain
+/// is broken, not merely young.
 pub fn recover(
     dir: &CheckpointDir,
     strategy: &dyn CheckpointStrategy,
@@ -284,7 +290,21 @@ pub fn recover_streamed(
     if !strategy.transaction_consistent() {
         return Err(RecoveryError::NotTransactionConsistent(strategy.name()));
     }
-    let mut outcome = recover_checkpoint_only(dir, strategy)?;
+    let mut outcome = match recover_checkpoint_only(dir, strategy) {
+        Ok(outcome) => outcome,
+        // Log-only cold start: no checkpoint ever completed, so the log
+        // alone carries the whole history and replay starts from empty.
+        Err(RecoveryError::NoFullCheckpoint) if dir.scan()?.is_empty() => RecoveryOutcome {
+            loaded_records: 0,
+            checkpoint_files: 0,
+            watermark: CommitSeq::ZERO,
+            replayed: 0,
+            load_duration: Duration::ZERO,
+            replay_duration: Duration::ZERO,
+            stats: RecoveryStats::default(),
+        },
+        Err(e) => return Err(e),
+    };
     let replay_start = Instant::now();
     for rec in commands {
         let rec = rec?;
@@ -541,6 +561,41 @@ mod tests {
         assert_eq!(outcome.loaded_records, 5);
         assert!(recovered.get(Key(99)).is_none(), "post-checkpoint txn lost");
         assert_eq!(recovered.get(Key(3)).unwrap(), 3u64.to_le_bytes().into());
+    }
+
+    /// A crash before the FIRST checkpoint ever completes leaves a bare
+    /// directory plus a command log — full recovery must cold-start from
+    /// empty state and replay the whole log, not refuse. (The kill-9
+    /// smoke hits exactly this window on a freshly started server.)
+    #[test]
+    fn log_only_cold_start_replays_everything_from_empty() {
+        let log = Arc::new(CommitLog::new(true));
+        let primary = CalcStrategy::full(StoreConfig::for_records(64, 16), log.clone());
+        let d = dir("coldstart");
+        for k in 0..7 {
+            run_set(&primary, &log, k, 10 + k);
+        }
+        // No checkpoint was ever taken: the directory holds zero cycles.
+
+        let mut registry = ProcRegistry::new();
+        registry.register(Arc::new(SetProc));
+        let recovered = CalcStrategy::full(
+            StoreConfig::for_records(64, 16),
+            Arc::new(CommitLog::new(true)),
+        );
+        let commands = log.commits_after(CommitSeq::ZERO);
+        let outcome = recover(&d, &recovered, &registry, &commands).unwrap();
+        assert_eq!(outcome.loaded_records, 0);
+        assert_eq!(outcome.checkpoint_files, 0);
+        assert_eq!(outcome.watermark, CommitSeq::ZERO);
+        assert_eq!(outcome.replayed, 7);
+        for k in 0..7u64 {
+            assert_eq!(
+                recovered.get(Key(k)).unwrap(),
+                (10 + k).to_le_bytes().into(),
+                "key {k} lost in cold start"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! A small blocking client for the wire protocol — used by the examples,
+//! the load generator, and the integration tests.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, status, verb, write_frame, Frame, Wire, WireError};
+
+/// What a request can fail with, seen from the client.
+#[derive(Debug)]
+pub enum KvError {
+    /// Transport failure (connection reset, torn frame, …). The request's
+    /// outcome is unknown — a write may or may not have committed.
+    Io(io::Error),
+    /// The transaction aborted (rolled back) with this reason. Nothing
+    /// was written.
+    Aborted(String),
+    /// Server-side failure. For write verbs this means "committed in
+    /// memory, durability unconfirmed" — treat the write as possibly lost.
+    Server(String),
+    /// The server rejected the request as malformed.
+    BadRequest(String),
+    /// The response payload did not parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "transport: {e}"),
+            KvError::Aborted(r) => write!(f, "aborted: {r}"),
+            KvError::Server(m) => write!(f, "server error: {m}"),
+            KvError::BadRequest(m) => write!(f, "bad request: {m}"),
+            KvError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<io::Error> for KvError {
+    fn from(e: io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+impl From<WireError> for KvError {
+    fn from(e: WireError) -> Self {
+        KvError::Protocol(e.to_string())
+    }
+}
+
+/// Client-side result.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// Stable FNV-style hash from a name to the engine's u64 keyspace (56-bit
+/// masked, matching the shell's historical keyspace) — so callers can use
+/// string keys over a u64 protocol.
+pub fn key_of(name: &str) -> u64 {
+    let mut x: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        x ^= b as u64;
+        x = x.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    x & ((1 << 56) - 1)
+}
+
+/// One connection speaking the wire protocol. Requests are synchronous:
+/// one frame out, one frame back.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, op: u8, payload: &[u8]) -> KvResult<(u8, Vec<u8>)> {
+        write_frame(&mut self.writer, op, payload)?;
+        match read_frame(&mut self.reader)? {
+            Some(resp) => Ok(resp),
+            None => Err(KvError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))),
+        }
+    }
+
+    /// Sends a request and maps non-OK statuses to typed errors.
+    fn ok(&mut self, op: u8, payload: &[u8]) -> KvResult<Vec<u8>> {
+        let (st, body) = self.call(op, payload)?;
+        match st {
+            status::OK => Ok(body),
+            status::ABORTED => Err(KvError::Aborted(text(body))),
+            status::ERR => Err(KvError::Server(text(body))),
+            status::BAD_REQUEST => Err(KvError::BadRequest(text(body))),
+            other => Err(KvError::Protocol(format!("unknown status {other:#04x}"))),
+        }
+    }
+
+    /// Point read.
+    pub fn get(&mut self, key: u64) -> KvResult<Option<Vec<u8>>> {
+        let body = self.ok(verb::GET, &Frame::new().u64(key).finish())?;
+        let mut w = Wire::new(&body);
+        Ok(match w.u8()? {
+            0 => None,
+            _ => Some(w.tail().to_vec()),
+        })
+    }
+
+    /// Durable upsert; `Ok(seq)` means the write survived its batch fsync.
+    pub fn put(&mut self, key: u64, value: &[u8]) -> KvResult<u64> {
+        let body = self.ok(verb::PUT, &Frame::new().u64(key).tail(value).finish())?;
+        Ok(Wire::new(&body).u64()?)
+    }
+
+    /// Durable delete; aborts if the key is absent.
+    pub fn del(&mut self, key: u64) -> KvResult<u64> {
+        let body = self.ok(verb::DEL, &Frame::new().u64(key).finish())?;
+        Ok(Wire::new(&body).u64()?)
+    }
+
+    /// Durable compare-and-set. `expected = None` expects the key absent
+    /// (pure insert); mismatches surface as [`KvError::Aborted`].
+    pub fn cas(&mut self, key: u64, expected: Option<&[u8]>, new: &[u8]) -> KvResult<u64> {
+        let mut f = Frame::new().u64(key);
+        match expected {
+            Some(exp) => f = f.u8(1).bytes(exp),
+            None => f = f.u8(0),
+        }
+        let body = self.ok(verb::CAS, &f.tail(new).finish())?;
+        Ok(Wire::new(&body).u64()?)
+    }
+
+    /// Batch point read; results align with `keys`.
+    pub fn mget(&mut self, keys: &[u64]) -> KvResult<Vec<Option<Vec<u8>>>> {
+        let mut f = Frame::new().u32(keys.len() as u32);
+        for k in keys {
+            f = f.u64(*k);
+        }
+        let body = self.ok(verb::MGET, &f.finish())?;
+        let mut w = Wire::new(&body);
+        let n = w.u32()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(match w.u8()? {
+                0 => None,
+                _ => Some(w.bytes()?.to_vec()),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Durable multi-key upsert as ONE transaction: one commit seq, one
+    /// lock acquisition, one durability wait for all pairs.
+    pub fn mput(&mut self, pairs: &[(u64, Vec<u8>)]) -> KvResult<u64> {
+        let mut f = Frame::new().u32(pairs.len() as u32);
+        for (k, v) in pairs {
+            f = f.u64(*k).bytes(v);
+        }
+        let body = self.ok(verb::MPUT, &f.finish())?;
+        Ok(Wire::new(&body).u64()?)
+    }
+
+    /// Engine health text (`key=value` lines): commit batches, average
+    /// batch size, fsync p99, connection counts, …
+    pub fn health(&mut self) -> KvResult<String> {
+        Ok(text(self.ok(verb::HEALTH, &[])?))
+    }
+
+    /// [`Client::health`] parsed into `(key, value)` pairs.
+    pub fn health_fields(&mut self) -> KvResult<std::collections::BTreeMap<String, String>> {
+        Ok(self
+            .health()?
+            .lines()
+            .filter_map(|l| {
+                let (k, v) = l.split_once('=')?;
+                Some((k.to_string(), v.to_string()))
+            })
+            .collect())
+    }
+
+    /// Triggers a checkpoint cycle and returns its stats line.
+    pub fn checkpoint(&mut self) -> KvResult<String> {
+        Ok(text(self.ok(verb::CHECKPOINT, &[])?))
+    }
+
+    /// Checkpoint-chain and retention stats text.
+    pub fn stats(&mut self) -> KvResult<String> {
+        Ok(text(self.ok(verb::STATS, &[])?))
+    }
+}
+
+fn text(body: Vec<u8>) -> String {
+    String::from_utf8_lossy(&body).into_owned()
+}

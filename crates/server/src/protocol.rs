@@ -1,0 +1,278 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame — request or response — is laid out as
+//!
+//! ```text
+//! ┌──────────┬─────────────┬───────────────────┐
+//! │ len: u32 │ opcode: u8  │ payload: len-1 B  │
+//! └──────────┴─────────────┴───────────────────┘
+//! ```
+//!
+//! `len` (little-endian) counts the opcode byte plus the payload, so an
+//! empty-payload frame has `len = 1`. Requests carry a verb opcode;
+//! responses carry a status opcode. Integers inside payloads are
+//! little-endian; variable-length fields are `u32` length-prefixed unless
+//! they are the frame's trailing field, which runs to the end of the
+//! payload (the frame length already bounds it).
+//!
+//! See `DESIGN.md` §9 for the full per-verb payload table.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's `len` field. Far above any legitimate
+/// request (values are memory-resident records, not blobs); a frame
+/// claiming more is a protocol error or garbage on the port, and the
+/// connection is dropped instead of the server allocating the claim.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Request verbs.
+pub mod verb {
+    /// Point read: `key: u64` → value or absent.
+    pub const GET: u8 = 0x01;
+    /// Upsert: `key: u64, value: rest` → commit seq (durable).
+    pub const PUT: u8 = 0x02;
+    /// Delete: `key: u64` → commit seq (durable); aborts if absent.
+    pub const DEL: u8 = 0x03;
+    /// Compare-and-set: `key: u64, flag: u8, [expected: bytes,] new: rest`
+    /// → commit seq (durable); aborts on mismatch. `flag = 0` expects the
+    /// key to be absent (pure insert).
+    pub const CAS: u8 = 0x04;
+    /// Batch read: `n: u32, n × key: u64` → n values/absences.
+    pub const MGET: u8 = 0x05;
+    /// Batch upsert in ONE transaction: `n: u32, n × (key: u64, value:
+    /// bytes)` → one commit seq covering all n writes (durable).
+    pub const MPUT: u8 = 0x06;
+    /// Engine health + group-commit + connection counters, as text.
+    pub const HEALTH: u8 = 0x10;
+    /// Trigger a checkpoint cycle now; responds when capture completes.
+    pub const CHECKPOINT: u8 = 0x11;
+    /// Checkpoint directory + retention stats, as text.
+    pub const STATS: u8 = 0x12;
+}
+
+/// Response statuses.
+pub mod status {
+    /// Success; payload is verb-specific.
+    pub const OK: u8 = 0x00;
+    /// The transaction aborted (rolled back); payload is the reason text.
+    pub const ABORTED: u8 = 0x01;
+    /// Server-side failure (I/O, durability loss); payload is the message.
+    pub const ERR: u8 = 0x02;
+    /// Malformed request frame; payload is the message. The connection
+    /// stays open — framing is intact, only the payload was bad.
+    pub const BAD_REQUEST: u8 = 0x03;
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result<()> {
+    let len = 1 + payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[opcode])?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF on the frame boundary (the
+/// peer closed); EOF mid-frame is an error (torn frame).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside (0, {MAX_FRAME}]"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let opcode = body[0];
+    body.drain(..1);
+    Ok(Some((opcode, body)))
+}
+
+/// Payload builder matching [`Wire`].
+#[derive(Default)]
+pub struct Frame {
+    buf: Vec<u8>,
+}
+
+impl Frame {
+    /// Empty payload builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(mut self, v: u8) -> Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32` length-prefixed byte field.
+    pub fn bytes(mut self, b: &[u8]) -> Self {
+        self.buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends raw bytes with no prefix — only valid as the trailing
+    /// field (the frame length bounds it).
+    pub fn tail(mut self, b: &[u8]) -> Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Payload cursor matching [`Frame`].
+pub struct Wire<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// A malformed payload (truncated or over-long field).
+#[derive(Debug)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl<'a> Wire<'a> {
+    /// Cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Wire { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(WireError(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, "truncated u64")?.try_into().unwrap(),
+        ))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, "truncated u32")?.try_into().unwrap(),
+        ))
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1, "truncated u8")?[0])
+    }
+
+    /// Reads a `u32` length-prefixed byte field.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        self.take(len, "truncated bytes")
+    }
+
+    /// Consumes everything left — the trailing field.
+    pub fn tail(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+
+    /// Unread byte count.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = Frame::new().u64(7).u8(1).bytes(b"abc").tail(b"xyz").finish();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, verb::CAS, &payload).unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        let (op, body) = read_frame(&mut cursor).unwrap().expect("one frame");
+        assert_eq!(op, verb::CAS);
+        let mut w = Wire::new(&body);
+        assert_eq!(w.u64().unwrap(), 7);
+        assert_eq!(w.u8().unwrap(), 1);
+        assert_eq!(w.bytes().unwrap(), b"abc");
+        assert_eq!(w.tail(), b"xyz");
+        assert_eq!(w.remaining(), 0);
+        // Clean EOF after the last frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_payload_frame_has_len_one() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, verb::HEALTH, &[]).unwrap();
+        assert_eq!(&wire[..4], &1u32.to_le_bytes());
+        let (op, body) = read_frame(&mut io::Cursor::new(wire)).unwrap().unwrap();
+        assert_eq!(op, verb::HEALTH);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn oversized_and_zero_frames_are_rejected() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut io::Cursor::new(oversized)).is_err());
+        let zero = 0u32.to_le_bytes().to_vec();
+        assert!(read_frame(&mut io::Cursor::new(zero)).is_err());
+    }
+
+    #[test]
+    fn torn_frame_is_an_error_not_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, verb::GET, &Frame::new().u64(1).finish()).unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut cursor = io::Cursor::new(wire);
+        assert!(read_frame(&mut cursor).is_err(), "mid-frame EOF must fail");
+    }
+
+    #[test]
+    fn truncated_payload_fields_are_typed_errors() {
+        let payload = Frame::new().u32(100).finish(); // claims 100 bytes, has 0
+        let mut w = Wire::new(&payload);
+        assert!(w.bytes().is_err());
+        let mut w = Wire::new(&[1, 2]);
+        assert!(w.u64().is_err());
+    }
+}

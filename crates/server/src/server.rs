@@ -1,0 +1,334 @@
+//! The TCP front-end: listener, connection-handler pool, and request
+//! dispatch into the engine's worker pool.
+//!
+//! Each accepted connection gets a handler thread that decodes frames and
+//! calls into the shared [`Database`]. Write verbs go through
+//! [`Database::execute_durable`] — the handler thread (never an engine
+//! worker) parks on the commit's [`calc_engine`] durability ticket, so an
+//! `OK` on the wire means the commit's group-commit batch has been
+//! fsynced: ack-after-fsync. Under load many handlers park concurrently
+//! and one batch fsync retires all of them — that is where the group
+//! commit throughput win comes from.
+//!
+//! Graceful shutdown ordering ([`Server::shutdown`]):
+//!
+//! 1. stop accepting (flag + self-connect to unblock `accept`),
+//! 2. half-close live connections (`shutdown(Read)`): each handler
+//!    finishes its in-flight request, writes the response, then sees EOF
+//!    and exits — no acknowledged write is ever dropped,
+//! 3. join the handler pool,
+//! 4. flush the final group-commit batch (`sync_command_log`),
+//! 5. hand the engine back to the caller, whose `Database::shutdown`
+//!    stops the checkpoint daemon before the engine drops.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use calc_engine::{Database, SyncError, TxnOutcome};
+use calc_txn::proc::params;
+
+use crate::procs;
+use crate::protocol::{read_frame, status, verb, write_frame, Frame, Wire, WireError};
+
+/// Handler threads are plentiful (one per connection) and shallow (decode,
+/// one engine call, encode), so they run on small stacks.
+const HANDLER_STACK: usize = 256 << 10;
+
+/// A running TCP front-end over a shared engine.
+pub struct Server {
+    db: Arc<Database>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `db`.
+    pub fn start(db: Arc<Database>, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+
+        let accept_handle = {
+            let db = db.clone();
+            let stop = stop.clone();
+            let handlers = handlers.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("calc-accept".into())
+                .spawn(move || {
+                    accept_loop(&listener, &db, &stop, &handlers, &conns);
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            db,
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            handlers,
+            conns,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Gracefully stops the server (see the module docs for the ordering)
+    /// and returns the engine so the caller can continue embedding it or
+    /// shut it down. Every write acknowledged `OK` before this returns is
+    /// durable on disk.
+    pub fn shutdown(mut self) -> Arc<Database> {
+        self.stop_impl();
+        self.db.clone()
+    }
+
+    fn stop_impl(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop; it observes the flag and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Half-close live connections: the write side stays open so each
+        // handler's in-flight response still reaches the client.
+        for stream in self.conns.lock().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for h in self.handlers.lock().drain(..) {
+            let _ = h.join();
+        }
+        // Final group-commit flush: belt-and-braces for any fire-and-
+        // forget submits sharing this engine (the server's own writes are
+        // already fsynced before their acks). A dead logger here is
+        // degraded durability, already surfaced per-request as ERR.
+        if let Err(e) = self.db.sync_command_log() {
+            eprintln!("calc-server: final command-log flush failed: {e}");
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    db: &Arc<Database>,
+    stop: &Arc<AtomicBool>,
+    handlers: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    conns: &Arc<Mutex<HashMap<u64, TcpStream>>>,
+) {
+    let next_id = AtomicU64::new(0);
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) if stop.load(Ordering::Acquire) => return,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::Acquire) {
+            return; // the shutdown self-connect (or a raced client)
+        }
+        let _ = stream.set_nodelay(true);
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        let Ok(registry_clone) = stream.try_clone() else {
+            continue;
+        };
+        conns.lock().insert(id, registry_clone);
+        db.health().connection_opened();
+        let handle = {
+            let db = db.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name(format!("calc-conn-{id}"))
+                .stack_size(HANDLER_STACK)
+                .spawn(move || {
+                    let _ = handle_conn(&db, stream);
+                    conns.lock().remove(&id);
+                    db.health().connection_closed();
+                })
+                .expect("spawn connection handler")
+        };
+        handlers.lock().push(handle);
+    }
+}
+
+fn handle_conn(db: &Arc<Database>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some((op, body)) = read_frame(&mut reader)? {
+        let (st, payload) = dispatch(db, op, &body);
+        write_frame(&mut writer, st, &payload)?;
+    }
+    writer.flush()
+}
+
+/// Decodes and executes one request; returns `(status, payload)`.
+fn dispatch(db: &Database, op: u8, body: &[u8]) -> (u8, Vec<u8>) {
+    match try_dispatch(db, op, body) {
+        Ok(resp) => resp,
+        Err(e) => (status::BAD_REQUEST, e.to_string().into_bytes()),
+    }
+}
+
+fn try_dispatch(db: &Database, op: u8, body: &[u8]) -> Result<(u8, Vec<u8>), WireError> {
+    let mut w = Wire::new(body);
+    match op {
+        verb::GET => {
+            let key = w.u64()?;
+            Ok((status::OK, encode_value(db.get(calc_common::types::Key(key)))))
+        }
+        verb::PUT => {
+            let key = w.u64()?;
+            let value = w.tail();
+            let p = params::Writer::new().u64(key).bytes(value).finish();
+            Ok(durable_outcome(db.execute_durable(procs::PUT, p)))
+        }
+        verb::DEL => {
+            let key = w.u64()?;
+            let p = params::Writer::new().u64(key).finish();
+            Ok(durable_outcome(db.execute_durable(procs::DEL, p)))
+        }
+        verb::CAS => {
+            let key = w.u64()?;
+            let flag = w.u8()?;
+            let mut p = params::Writer::new().u64(key).u64(flag as u64);
+            if flag != 0 {
+                p = p.bytes(w.bytes()?);
+            }
+            let p = p.bytes(w.tail()).finish();
+            Ok(durable_outcome(db.execute_durable(procs::CAS, p)))
+        }
+        verb::MGET => {
+            let n = w.u32()?;
+            let mut out = Frame::new().u32(n);
+            for _ in 0..n {
+                let key = w.u64()?;
+                match db.get(calc_common::types::Key(key)) {
+                    Some(v) => out = out.u8(1).bytes(&v),
+                    None => out = out.u8(0),
+                }
+            }
+            Ok((status::OK, out.finish()))
+        }
+        verb::MPUT => {
+            let n = w.u32()?;
+            let mut p = params::Writer::new().u32(n);
+            for _ in 0..n {
+                p = p.u64(w.u64()?).bytes(w.bytes()?);
+            }
+            Ok(durable_outcome(db.execute_durable(procs::MPUT, p.finish())))
+        }
+        verb::HEALTH => Ok((status::OK, health_text(db).into_bytes())),
+        verb::CHECKPOINT => Ok(match db.checkpoint_now() {
+            Ok(s) => (
+                status::OK,
+                format!(
+                    "kind={} id={} records={} bytes={} duration_us={} quiesce_us={}",
+                    s.kind,
+                    s.id,
+                    s.records,
+                    s.bytes,
+                    s.duration.as_micros(),
+                    s.quiesce.as_micros()
+                )
+                .into_bytes(),
+            ),
+            Err(e) => (status::ERR, format!("checkpoint failed: {e}").into_bytes()),
+        }),
+        verb::STATS => Ok((status::OK, stats_text(db).into_bytes())),
+        other => Err(WireError(match other {
+            0x07..=0x0f => "unassigned data verb",
+            _ => "unknown verb",
+        })),
+    }
+}
+
+/// `GET` response payload: `u8` presence flag, then the value as the
+/// trailing field.
+fn encode_value(v: Option<calc_common::types::Value>) -> Vec<u8> {
+    match v {
+        Some(v) => Frame::new().u8(1).tail(&v).finish(),
+        None => Frame::new().u8(0).finish(),
+    }
+}
+
+/// Maps a durable execution to a wire response. `OK` is sent only after
+/// the commit's batch fsync — the ack-after-fsync guarantee.
+fn durable_outcome(result: Result<TxnOutcome, SyncError>) -> (u8, Vec<u8>) {
+    match result {
+        Ok(TxnOutcome::Committed(seq)) => (status::OK, Frame::new().u64(seq.0).finish()),
+        Ok(TxnOutcome::Aborted(reason)) => (status::ABORTED, reason.to_string().into_bytes()),
+        // Committed in memory but durability unconfirmed: the client must
+        // treat the write as possibly-lost, so it is NOT an OK.
+        Err(e) => (status::ERR, format!("durability unconfirmed: {e}").into_bytes()),
+    }
+}
+
+/// `HEALTH` verb: one `key=value` per line, stable names — the group-
+/// commit and connection counters the benchmark and operators read.
+fn health_text(db: &Database) -> String {
+    let h = db.health();
+    let m = db.metrics();
+    format!(
+        "committed={}\naborted={}\nrecords={}\ncommit_batches={}\ncommit_batch_records={}\n\
+         avg_batch_size={:.2}\nfsync_p99_us={}\nactive_connections={}\ntotal_connections={}\n\
+         degraded={}\ncheckpoint_failures={}\n",
+        m.committed(),
+        m.aborted(),
+        db.record_count(),
+        h.commit_batches(),
+        h.commit_batch_records(),
+        h.avg_batch_size(),
+        h.fsync_p99_us(),
+        h.active_connections(),
+        h.total_connections(),
+        h.degraded(),
+        h.total_failures(),
+    )
+}
+
+/// `STATS` verb: the published checkpoint chain plus retention totals.
+fn stats_text(db: &Database) -> String {
+    let h = db.health();
+    let mut out = String::new();
+    for m in db.checkpoint_dir().scan().unwrap_or_default() {
+        out.push_str(&format!(
+            "checkpoint kind={} id={} records={} watermark={}\n",
+            m.kind, m.id, m.records, m.watermark
+        ));
+    }
+    out.push_str(&format!(
+        "last_checkpoint_bytes={}\nlast_checkpoint_raw_bytes={}\ncheckpoints_pruned={}\n\
+         log_segments_truncated={}\nlog_bytes_truncated={}\n",
+        h.last_checkpoint_bytes(),
+        h.last_checkpoint_raw_bytes(),
+        h.checkpoints_pruned(),
+        h.log_segments_truncated(),
+        h.log_bytes_truncated(),
+    ));
+    out
+}

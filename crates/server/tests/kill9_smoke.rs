@@ -1,0 +1,117 @@
+//! The kill-9 smoke: start the real `calc-server` binary, write through
+//! real TCP, SIGKILL it mid-traffic, restart over the same directory,
+//! and assert every acknowledged write survived. Tier-6 of
+//! `scripts/verify.sh` (`cargo verify-server`) runs this suite.
+
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use calc_server::{Client, KvError};
+
+/// Kills the child on drop so a failing assert never leaks a server.
+struct Reaper(Child);
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_server(dir: &std::path::Path, port_file: &std::path::Path) -> Reaper {
+    let _ = std::fs::remove_file(port_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_calc-server"))
+        .args([
+            "--dir",
+            dir.to_str().unwrap(),
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--window-us",
+            "500",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn calc-server binary");
+    Reaper(child)
+}
+
+fn wait_for_port(port_file: &std::path::Path) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(port_file) {
+            if let Ok(port) = s.trim().parse() {
+                return port;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never published its port"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_mid_traffic_preserves_every_acknowledged_write() {
+    const WRITERS: usize = 4;
+    let dir = std::env::temp_dir().join(format!("calc-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let port_file = dir.join("port");
+
+    let mut server = spawn_server(&dir, &port_file);
+    let port = wait_for_port(&port_file);
+    let addr = format!("127.0.0.1:{port}");
+
+    // Concurrent writers, each bumping a monotone counter under its own
+    // key and remembering the last acknowledged value.
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let key = 0xB000u64 + w as u64;
+                let mut c = Client::connect(&*addr).unwrap();
+                let mut last_acked = 0u64;
+                for counter in 1..u64::MAX {
+                    match c.put(key, &counter.to_le_bytes()) {
+                        Ok(_) => last_acked = counter,
+                        // The SIGKILL severed the connection; anything
+                        // unacknowledged carries no promise.
+                        Err(KvError::Io(_)) => break,
+                        Err(e) => panic!("writer {w}: {e}"),
+                    }
+                }
+                (key, last_acked)
+            })
+        })
+        .collect();
+
+    // Let real traffic accumulate, then SIGKILL mid-stream: no flush, no
+    // drain, no goodbye.
+    std::thread::sleep(Duration::from_millis(700));
+    server.0.kill().expect("SIGKILL server");
+    let _ = server.0.wait();
+    let acked: Vec<(u64, u64)> = writers.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        acked.iter().all(|(_, n)| *n > 0),
+        "every writer was acknowledged at least once: {acked:?}"
+    );
+
+    // Restart over the same directory: boot recovery replays the log.
+    let server2 = spawn_server(&dir, &port_file);
+    let port = wait_for_port(&port_file);
+    let mut c = Client::connect(format!("127.0.0.1:{port}")).unwrap();
+    for (key, last_acked) in &acked {
+        let v = c
+            .get(*key)
+            .unwrap()
+            .unwrap_or_else(|| panic!("key {key:#x} lost by SIGKILL"));
+        let got = u64::from_le_bytes(v[..8].try_into().unwrap());
+        assert!(
+            got >= *last_acked,
+            "key {key:#x}: recovered {got} < acknowledged {last_acked}"
+        );
+    }
+    drop(server2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,186 @@
+//! The network twin of `kv_shell`: the same interactive commands, but
+//! spoken over calc-server's wire protocol instead of in-process calls —
+//! every write is acknowledged only after its group-commit batch has been
+//! fsynced on the server.
+//!
+//! ```sh
+//! # Against an embedded server on an ephemeral port (default):
+//! cargo run --release --example kv_client
+//!
+//! # Against a running `calc-server --dir ... --addr 127.0.0.1:4100`:
+//! KV_ADDR=127.0.0.1:4100 cargo run --release --example kv_client
+//! ```
+//!
+//! Commands: `put K V` · `get K` · `del K` · `cas K EXPECTED NEW` ·
+//! `scan` · `checkpoint` · `health` · `stats` · `help` · `quit`.
+//! Keys are arbitrary words (hashed to the engine's u64 keyspace); values
+//! are the rest of the line. `crash`/`recover` from the shell have no
+//! wire equivalent — the server's kill-9 smoke covers that story: SIGKILL
+//! the server process and restart it over the same `--dir`.
+//!
+//! `scan` only covers names this shell session has touched: the wire
+//! keyspace is hashed u64s with no enumeration verb, so a fresh
+//! connection scans empty until it puts/gets keys — the data is still
+//! there (`get` any name to see it), the shell just can't list what it
+//! has never named.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use calc_server::{key_of, Client, KvError, Server};
+
+/// Values carry their name so `scan` can print names back — same framing
+/// as `kv_shell`, but now it crosses the wire.
+fn encode_named(name: &str, value: &str) -> Vec<u8> {
+    let mut v = Vec::with_capacity(1 + name.len() + value.len());
+    v.push(name.len() as u8);
+    v.extend_from_slice(name.as_bytes());
+    v.extend_from_slice(value.as_bytes());
+    v
+}
+
+fn decode_named(bytes: &[u8]) -> (String, String) {
+    let n = bytes[0] as usize;
+    (
+        String::from_utf8_lossy(&bytes[1..1 + n]).into_owned(),
+        String::from_utf8_lossy(&bytes[1 + n..]).into_owned(),
+    )
+}
+
+fn main() {
+    // KV_ADDR points at a live server; otherwise embed one over a temp
+    // dir so the example is self-contained.
+    let (addr, embedded) = match std::env::var("KV_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let dir = std::env::temp_dir().join(format!("calc-kv-client-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let db = calc_server::open_or_recover(&dir, |_| {}).expect("open embedded engine");
+            let server = Server::start(Arc::new(db), "127.0.0.1:0").expect("bind embedded server");
+            (server.local_addr().to_string(), Some((server, dir)))
+        }
+    };
+    let mut client = Client::connect(&*addr).expect("connect to calc-server");
+    let mut names: std::collections::BTreeSet<String> = Default::default();
+    println!(
+        "calc-server shell @ {addr}{}. `help` for commands.",
+        if embedded.is_some() { " (embedded)" } else { "" }
+    );
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let mut parts = line.trim().splitn(3, ' ');
+        let cmd = parts.next().unwrap_or("");
+        match cmd {
+            "put" => {
+                let (Some(k), Some(v)) = (parts.next(), parts.next()) else {
+                    println!("usage: put KEY VALUE");
+                    continue;
+                };
+                match client.put(key_of(k), &encode_named(k, v)) {
+                    Ok(seq) => {
+                        names.insert(k.to_string());
+                        println!("ok {seq} (durable)");
+                    }
+                    Err(e) => println!("{e}"),
+                }
+            }
+            "get" => {
+                let Some(k) = parts.next() else {
+                    println!("usage: get KEY");
+                    continue;
+                };
+                match client.get(key_of(k)) {
+                    Ok(Some(bytes)) => println!("{}", decode_named(&bytes).1),
+                    Ok(None) => println!("(nil)"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            "del" => {
+                let Some(k) = parts.next() else {
+                    println!("usage: del KEY");
+                    continue;
+                };
+                match client.del(key_of(k)) {
+                    Ok(_) => {
+                        names.remove(k);
+                        println!("ok");
+                    }
+                    Err(e) => println!("{e}"),
+                }
+            }
+            "cas" => {
+                // `cas K - NEW` expects the key absent; `cas K EXP NEW`
+                // swaps only if the current value is EXP.
+                let (Some(k), Some(rest)) = (parts.next(), parts.next()) else {
+                    println!("usage: cas KEY EXPECTED|- NEW");
+                    continue;
+                };
+                let mut rv = rest.splitn(2, ' ');
+                let (Some(exp), Some(new)) = (rv.next(), rv.next()) else {
+                    println!("usage: cas KEY EXPECTED|- NEW");
+                    continue;
+                };
+                let expected = (exp != "-").then(|| encode_named(k, exp));
+                match client.cas(key_of(k), expected.as_deref(), &encode_named(k, new)) {
+                    Ok(seq) => {
+                        names.insert(k.to_string());
+                        println!("ok {seq} (durable)");
+                    }
+                    Err(KvError::Aborted(r)) => println!("aborted: {r}"),
+                    Err(e) => println!("{e}"),
+                }
+            }
+            "scan" => {
+                let keys: Vec<u64> = names.iter().map(|n| key_of(n)).collect();
+                match client.mget(&keys) {
+                    Ok(values) => {
+                        for (name, v) in names.iter().zip(values) {
+                            if let Some(bytes) = v {
+                                println!("{name} = {}", decode_named(&bytes).1);
+                            }
+                        }
+                    }
+                    Err(e) => println!("{e}"),
+                }
+            }
+            "checkpoint" => match client.checkpoint() {
+                Ok(line) => println!("{line}"),
+                Err(e) => println!("{e}"),
+            },
+            "health" => match client.health() {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("{e}"),
+            },
+            "stats" => match client.stats() {
+                Ok(text) => print!("{text}"),
+                Err(e) => println!("{e}"),
+            },
+            "help" => println!(
+                "put K V · get K · del K · cas K EXPECTED|- NEW · scan · checkpoint · \
+                 health · stats · quit"
+            ),
+            "quit" | "exit" => break,
+            "" => {}
+            other => println!("unknown command {other:?} — try `help`"),
+        }
+    }
+
+    drop(client);
+    if let Some((server, dir)) = embedded {
+        // Graceful teardown: drain connections, flush the final
+        // group-commit batch, stop the checkpoint daemon, then drop.
+        let db = server.shutdown();
+        if let Ok(db) = Arc::try_unwrap(db) {
+            db.shutdown();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,9 +4,13 @@
 # in calc-sim, including the 64-seed smoke sweep), tier-3 (the concurrency
 # conformance suite in calc-conform at three fixed base seeds), tier-4
 # (the transient-fault sweep, run serially and again with 4-way parallel
-# checkpoint capture), and tier-5 (the two-node warm-standby failover
-# sweep at three fixed base seeds). Any failure panics with the exact
-# replayable spec, reproducible via e.g.:
+# checkpoint capture), tier-5 (the two-node warm-standby failover
+# sweep at three fixed base seeds), and tier-6 (the calc-server suite:
+# wire-protocol round trips over real TCP, the shutdown-under-load
+# durability test, and the kill-9 smoke — the real server binary on an
+# ephemeral port, concurrent writers, SIGKILL mid-traffic, restart over
+# the same directory, and every acknowledged write must survive). Any
+# failure panics with the exact replayable spec, reproducible via e.g.:
 #
 #   SIM_SEED=0xdeadbeef cargo test -p calc-sim
 #   CONFORM_SEED=0xc0f020260000 cargo verify-conform
@@ -52,5 +56,8 @@ for seed in 0xCA1C51B700000000 0x57A4DB1700000001 0xFA110E4200000002; do
     echo "  -- SIM_SEED=${seed}"
     SIM_SEED="${seed}" cargo test --package calc-sim --test failover_sweep --quiet
 done
+
+echo "== tier-6: server smoke (calc-server: wire verbs, shutdown under load, kill -9) =="
+cargo test --package calc-server --quiet
 
 echo "verify: all gates green"
