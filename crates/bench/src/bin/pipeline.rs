@@ -25,12 +25,18 @@
 //!    latency at several connection counts, with and without a concurrent
 //!    checkpoint, plus the per-commit-fsync baseline (`max_batch = 1`)
 //!    asserting group commit buys ≥2× throughput at ≥100 connections.
+//! 7. **overload** (ISSUE 9, non-gating) — the same server with a bounded
+//!    in-flight permit gate driven ≥4× past saturation by a BUSY-aware
+//!    client loop: throughput and accepted-request p50/p99 with and
+//!    without a concurrent checkpoint under adaptive pacing, plus the
+//!    shed counts and capture-yield totals the admission path produced.
 //!
 //! Environment knobs: `BENCH_OUT` (output path, default
 //! `BENCH_pipeline.json`), `BENCH_RECORDS` (default 500_000),
 //! `BENCH_SMOKE_MS` (per-strategy run length, default 1200),
 //! `BENCH_SERVER_CONNS` (comma-separated connection counts, default
-//! `100,400,1000`), `BENCH_SERVER_MS` (per-point run length, default 800).
+//! `100,400,1000`), `BENCH_SERVER_MS` (per-point run length, default 800),
+//! `BENCH_OVERLOAD_CONNS` (default 64).
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -267,6 +273,95 @@ fn server_load(
         total as f64 / elapsed.as_secs_f64(),
         hist.quantile(0.5),
         hist.quantile(0.99),
+    )
+}
+
+/// [`server_load`]'s BUSY-aware sibling for the overload section: every
+/// connection hammers durable PUTs, but a `BUSY` (admission shed) is
+/// *counted and retried* instead of treated as a failure — the loop
+/// measures what an overloaded-but-well-behaved client population sees.
+/// Returns `(accepted_tps, p50_us, p99_us, busy_count)` where the
+/// latency quantiles cover accepted (OK-acked) requests only.
+fn overload_load(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    run: Duration,
+    with_checkpoint: bool,
+) -> (f64, u64, u64, u64) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hist = Arc::new(calc_common::hist::Histogram::new());
+    let busy = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let checkpointer = with_checkpoint.then(|| {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = calc_server::Client::connect(addr).expect("overload ckpt client");
+            let mut cycles = 0u64;
+            loop {
+                c.checkpoint().expect("overload checkpoint");
+                cycles += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(run / 4);
+            }
+            cycles
+        })
+    });
+    let clients: Vec<_> = (0..conns)
+        .map(|i| {
+            let stop = stop.clone();
+            let hist = hist.clone();
+            let busy = busy.clone();
+            std::thread::Builder::new()
+                .name(format!("overload-conn-{i}"))
+                .stack_size(128 << 10)
+                .spawn(move || {
+                    let mut c =
+                        calc_server::Client::connect(addr).expect("overload client connect");
+                    let base = (i as u64 + 1) << 32;
+                    let payload = [7u8; 64];
+                    let mut count = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        match c.put(base | (count & 0x3F), &payload) {
+                            Ok(_) => {
+                                hist.record(t.elapsed().as_micros() as u64);
+                                count += 1;
+                            }
+                            Err(calc_server::KvError::Busy(_)) => {
+                                // Shed before execution: back off a hair
+                                // and offer it again — the retry that IS
+                                // always safe.
+                                busy.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => panic!("overload put failed: {e}"),
+                        }
+                    }
+                    count
+                })
+                .expect("spawn overload client")
+        })
+        .collect();
+    std::thread::sleep(run);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = clients
+        .into_iter()
+        .map(|h| h.join().expect("overload client panicked"))
+        .sum();
+    let elapsed = start.elapsed();
+    if let Some(h) = checkpointer {
+        let cycles = h.join().expect("overload checkpointer panicked");
+        assert!(cycles > 0, "no checkpoint cycle completed during overload run");
+    }
+    (
+        total as f64 / elapsed.as_secs_f64(),
+        hist.quantile(0.5),
+        hist.quantile(0.99),
+        busy.load(Ordering::Relaxed),
     )
 }
 
@@ -589,6 +684,62 @@ fn main() {
          ({baseline_tps:.0} tps) at {baseline_conns} connections"
     );
 
+    // ---- Section 7: overload resilience (ISSUE 9, non-gating numbers).
+    // A bounded permit gate admits conns/4 requests at a time while all
+    // `overload_conns` connections offer load — ≥4× past saturation — so
+    // the BUSY-aware loop exercises real shedding. The run with a
+    // concurrent checkpoint shows what adaptive pacing buys: the pacer
+    // sees the same LoadSignal the gate sheds on.
+    let overload_conns = env_u64("BENCH_OVERLOAD_CONNS", 64) as usize;
+    let overload_inflight = (overload_conns / 4).max(1);
+    eprintln!(
+        "pipeline: overload — {overload_conns} connections over {overload_inflight} permits…"
+    );
+    let ov_db = calc_server::open_or_recover(&root.join("server-overload"), |_| {})
+        .expect("open overload engine");
+    let ov_server = calc_server::Server::start_with(
+        Arc::new(ov_db),
+        "127.0.0.1:0",
+        calc_server::ServerConfig {
+            max_inflight: overload_inflight,
+            queue_deadline: Duration::from_millis(2),
+            ..calc_server::ServerConfig::default()
+        },
+    )
+    .expect("bind overload server");
+    let ov_addr = ov_server.local_addr();
+    {
+        // Preload so the concurrent checkpoint captures a real store.
+        let mut c = calc_server::Client::connect(ov_addr).expect("overload preload client");
+        let payload = vec![7u8; 64];
+        for batch in 0..(preloaded / 100) {
+            let pairs: Vec<(u64, Vec<u8>)> = (0..100)
+                .map(|j| (batch * 100 + j, payload.clone()))
+                .collect();
+            c.mput(&pairs).expect("overload preload mput");
+        }
+    }
+    let (ov_base_tps, ov_base_p50, ov_base_p99, ov_base_busy) =
+        overload_load(ov_addr, overload_conns, server_run, false);
+    eprintln!("pipeline: overload — same sweep with a concurrent checkpoint…");
+    let (ov_ckpt_tps, ov_ckpt_p50, ov_ckpt_p99, ov_ckpt_busy) =
+        overload_load(ov_addr, overload_conns, server_run, true);
+    let ov_penalty_pct = (1.0 - ov_ckpt_tps / ov_base_tps.max(1e-9)) * 100.0;
+    let (ov_shed_requests, ov_shed_connections, ov_capture_yields) = {
+        let mut c = calc_server::Client::connect(ov_addr).expect("overload health client");
+        let f = c.health_fields().expect("overload health");
+        (
+            f.get("shed_requests").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0),
+            f.get("shed_connections").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0),
+            f.get("capture_yields").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0),
+        )
+    };
+    let ov_db = ov_server.shutdown();
+    let Ok(ov_db) = Arc::try_unwrap(ov_db) else {
+        panic!("server shutdown must release the sole database handle");
+    };
+    ov_db.shutdown();
+
     // ---- Emit JSON (hand-rolled; every value is a number or plain name).
     let mut json = String::new();
     json.push_str("{\n");
@@ -683,6 +834,28 @@ fn main() {
     ));
     json.push_str(&format!(
         "    \"group_commit_speedup\": {server_speedup:.2}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"overload\": {\n");
+    json.push_str(&format!(
+        "    \"connections\": {overload_conns}, \"max_inflight\": {overload_inflight}, \
+         \"queue_deadline_ms\": 2, \"run_ms\": {server_ms},\n"
+    ));
+    json.push_str(&format!(
+        "    \"no_checkpoint\": {{\"tps\": {ov_base_tps:.1}, \"p50_us\": {ov_base_p50}, \
+         \"p99_us\": {ov_base_p99}, \"busy\": {ov_base_busy}}},\n"
+    ));
+    json.push_str(&format!(
+        "    \"with_checkpoint\": {{\"tps\": {ov_ckpt_tps:.1}, \"p50_us\": {ov_ckpt_p50}, \
+         \"p99_us\": {ov_ckpt_p99}, \"busy\": {ov_ckpt_busy}}},\n"
+    ));
+    json.push_str(&format!(
+        "    \"checkpoint_tps_penalty_pct\": {ov_penalty_pct:.1},\n"
+    ));
+    json.push_str(&format!(
+        "    \"shed_requests\": {ov_shed_requests}, \
+         \"shed_connections\": {ov_shed_connections}, \
+         \"capture_yields\": {ov_capture_yields}\n"
     ));
     json.push_str("  }\n");
     json.push_str("}\n");

@@ -22,6 +22,9 @@
 //!   reproducibility across runs matters more than statistical quality.
 //! * [`backoff`] — capped exponential retry backoff with deterministic
 //!   (seeded) jitter, used by the supervised checkpoint service.
+//! * [`load`] — cheap EWMA load signals ([`load::LoadSignal`]) and the
+//!   bounded admission gate ([`load::Gate`]) behind overload shedding
+//!   and load-aware checkpoint pacing.
 //! * [`vfs`] — the filesystem trait everything durable is written
 //!   through, with the [`vfs::OsVfs`] passthrough.
 //! * [`simfs`] — a deterministic fault-injecting in-memory filesystem
@@ -38,6 +41,7 @@ pub mod bitvec;
 pub mod bloom;
 pub mod crc;
 pub mod hist;
+pub mod load;
 #[cfg(feature = "mutation-hooks")]
 pub mod mutation;
 pub mod perturb;
@@ -52,6 +56,7 @@ pub use backoff::Backoff;
 pub use bitvec::{AtomicBitVec, PolarityBitVec};
 pub use bloom::BloomFilter;
 pub use hist::Histogram;
+pub use load::{Gate, LoadLevel, LoadSignal, Permit};
 pub use phase::Phase;
 pub use simfs::{DirCrashMode, FaultKind, FaultSpec, OpCounts, SimVfs, TransientKind, TransientSpec};
 pub use striped::StripedMutex;

@@ -1,0 +1,515 @@
+//! Cheap load signals and admission control.
+//!
+//! [`LoadSignal`] is a lock-free bundle of exponentially-weighted moving
+//! averages (throughput, commit latency) plus gauges and counters
+//! (in-flight requests, shed counts, capture yields) that the engine's
+//! commit path and the server's request handlers feed. Everything is a
+//! relaxed atomic: observations are a handful of instructions, readers
+//! never block writers, and a lost update under a race only blurs a
+//! signal that is approximate by design.
+//!
+//! [`Gate`] is the admission-control half: a bounded in-flight permit
+//! counter with deadline-bounded acquisition. A request that cannot get a
+//! permit before its queue deadline is *shed* — the caller answers
+//! "busy" instead of queueing without bound — and the shed is counted on
+//! the shared signal so operators and the checkpoint pacer see the
+//! pressure.
+//!
+//! The derived [`LoadLevel`] is what adaptive checkpoint pacing consults:
+//! capture workers reduce effective parallelism and yield their scan
+//! quanta under [`LoadLevel::High`] and [`LoadLevel::Overload`] so
+//! checkpointing costs bounded foreground throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Sentinel for "never recorded" in nanosecond slots.
+const NEVER: u64 = u64::MAX;
+
+/// Throughput-fold window: commits are counted per window and folded
+/// into the tps EWMA when it closes.
+const WINDOW: Duration = Duration::from_millis(100);
+
+/// How long after the last admission-pressure event (a shed, or a waiter
+/// blocked on a full gate) the signal still reports [`LoadLevel::Overload`].
+const PRESSURE_HOLD: Duration = Duration::from_secs(1);
+
+/// Coarse load bands derived from the signal — what the checkpoint pacer
+/// and operators consume instead of raw EWMAs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LoadLevel {
+    /// No traffic worth pacing around.
+    Idle,
+    /// Traffic well inside capacity.
+    Normal,
+    /// Approaching capacity: background work should start yielding.
+    High,
+    /// At or beyond capacity (or actively shedding): background work
+    /// should get out of the way.
+    Overload,
+}
+
+impl LoadLevel {
+    /// Stable lowercase name (used by the HEALTH wire verb).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoadLevel::Idle => "idle",
+            LoadLevel::Normal => "normal",
+            LoadLevel::High => "high",
+            LoadLevel::Overload => "overload",
+        }
+    }
+}
+
+impl std::fmt::Display for LoadLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Shared load signal: EWMA throughput and latency fed from the commit
+/// path, an in-flight gauge fed from the admission gate, and shed/yield
+/// counters. See the module docs for the accuracy contract (approximate,
+/// race-tolerant, never blocking).
+pub struct LoadSignal {
+    started: Instant,
+    /// Engine capacity estimate in commits/sec (0 = unknown). Set from
+    /// configuration or a calibration run; the tps EWMA is judged
+    /// against it.
+    capacity_tps: AtomicU64,
+    /// Requests currently inside the admission gate.
+    inflight: AtomicU64,
+    /// The gate's permit capacity (0 = unbounded), for ratio-based level
+    /// derivation when no tps capacity is configured.
+    inflight_capacity: AtomicU64,
+    /// Start of the open throughput window (nanos since `started`).
+    win_start_nanos: AtomicU64,
+    /// Commits observed in the open window.
+    win_commits: AtomicU64,
+    /// Throughput EWMA, `f64` bits.
+    tps_ewma_bits: AtomicU64,
+    /// Commit-latency EWMA in microseconds (step 1/8).
+    latency_ewma_us: AtomicU64,
+    /// Requests shed by the admission gate (deadline expired).
+    shed_requests: AtomicU64,
+    /// Connections rejected by the connection cap.
+    shed_connections: AtomicU64,
+    /// Scan quanta the checkpoint capture path yielded under pressure.
+    capture_yields: AtomicU64,
+    /// Nanos-since-start of the last admission-pressure event.
+    last_pressure_nanos: AtomicU64,
+}
+
+impl Default for LoadSignal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoadSignal {
+    /// Fresh signal with no capacity estimate.
+    pub fn new() -> Self {
+        LoadSignal {
+            started: Instant::now(),
+            capacity_tps: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            inflight_capacity: AtomicU64::new(0),
+            win_start_nanos: AtomicU64::new(0),
+            win_commits: AtomicU64::new(0),
+            tps_ewma_bits: AtomicU64::new(0f64.to_bits()),
+            latency_ewma_us: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            shed_connections: AtomicU64::new(0),
+            capture_yields: AtomicU64::new(0),
+            last_pressure_nanos: AtomicU64::new(NEVER),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos().min((NEVER - 1) as u128) as u64
+    }
+
+    /// Records one committed transaction and its commit latency. Called
+    /// from the engine's commit path: a couple of relaxed atomics, plus a
+    /// window fold (one CAS) every ~100 ms per folding thread.
+    pub fn observe_commit(&self, latency: Duration) {
+        let us = (latency.as_micros() as u64).max(1);
+        let prev = self.latency_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 { us } else { prev - prev / 8 + us / 8 };
+        self.latency_ewma_us.store(next.max(1), Ordering::Relaxed);
+
+        self.win_commits.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_nanos();
+        let start = self.win_start_nanos.load(Ordering::Relaxed);
+        let elapsed = now.saturating_sub(start);
+        if elapsed >= WINDOW.as_nanos() as u64 {
+            // One racer folds the window; the rest keep counting. A lost
+            // race loses at most one window's worth of smoothing.
+            if self
+                .win_start_nanos
+                .compare_exchange(start, now, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                let commits = self.win_commits.swap(0, Ordering::Relaxed);
+                let tps = commits as f64 * 1e9 / elapsed as f64;
+                let prev = f64::from_bits(self.tps_ewma_bits.load(Ordering::Relaxed));
+                let folded = if prev == 0.0 { tps } else { prev * 0.7 + tps * 0.3 };
+                self.tps_ewma_bits.store(folded.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Smoothed throughput in commits/sec (0.0 until the first window
+    /// folds). Stale-decays: if no window has folded for a while the
+    /// reported value is scaled down so a burst that stopped does not
+    /// read as sustained load forever.
+    pub fn tps(&self) -> f64 {
+        let ewma = f64::from_bits(self.tps_ewma_bits.load(Ordering::Relaxed));
+        let idle = self
+            .now_nanos()
+            .saturating_sub(self.win_start_nanos.load(Ordering::Relaxed));
+        // No fold for 10 windows: traffic stopped; halve per extra second.
+        let stale = idle.saturating_sub(10 * WINDOW.as_nanos() as u64);
+        if stale == 0 {
+            return ewma;
+        }
+        ewma / (1.0 + stale as f64 / 1e9)
+    }
+
+    /// Smoothed commit latency in microseconds (0 until the first commit).
+    pub fn latency_ewma_us(&self) -> u64 {
+        self.latency_ewma_us.load(Ordering::Relaxed)
+    }
+
+    /// Sets the capacity estimate (commits/sec) the tps EWMA is judged
+    /// against. 0 disables tps-based level derivation.
+    pub fn set_capacity_tps(&self, tps: u64) {
+        self.capacity_tps.store(tps, Ordering::Relaxed);
+    }
+
+    /// The configured capacity estimate (0 = unknown).
+    pub fn capacity_tps(&self) -> u64 {
+        self.capacity_tps.load(Ordering::Relaxed)
+    }
+
+    /// Sets the admission gate's permit capacity (0 = unbounded), for
+    /// inflight-ratio level derivation. [`Gate::new`] calls this.
+    pub fn set_inflight_capacity(&self, cap: u64) {
+        self.inflight_capacity.store(cap, Ordering::Relaxed);
+    }
+
+    /// A request entered the admission gate.
+    pub fn enter_inflight(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the admission gate.
+    pub fn exit_inflight(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently in flight.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// The admission gate shed a request (queue deadline expired).
+    pub fn record_shed_request(&self) {
+        self.shed_requests.fetch_add(1, Ordering::Relaxed);
+        self.note_pressure();
+    }
+
+    /// Requests shed by the admission gate, lifetime total.
+    pub fn shed_requests(&self) -> u64 {
+        self.shed_requests.load(Ordering::Relaxed)
+    }
+
+    /// The connection cap rejected a connect.
+    pub fn record_shed_connection(&self) {
+        self.shed_connections.fetch_add(1, Ordering::Relaxed);
+        self.note_pressure();
+    }
+
+    /// Connections rejected by the cap, lifetime total.
+    pub fn shed_connections(&self) -> u64 {
+        self.shed_connections.load(Ordering::Relaxed)
+    }
+
+    /// A checkpoint capture worker yielded one scan quantum to foreground
+    /// load.
+    pub fn record_capture_yield(&self) {
+        self.capture_yields.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture scan quanta yielded under pressure, lifetime total.
+    pub fn capture_yields(&self) -> u64 {
+        self.capture_yields.load(Ordering::Relaxed)
+    }
+
+    /// Marks admission pressure now (a waiter blocked on a full gate or a
+    /// shed); the level reads [`LoadLevel::Overload`] for a short hold
+    /// window afterwards.
+    pub fn note_pressure(&self) {
+        self.last_pressure_nanos
+            .store(self.now_nanos(), Ordering::Relaxed);
+    }
+
+    fn recent_pressure(&self) -> bool {
+        match self.last_pressure_nanos.load(Ordering::Relaxed) {
+            NEVER => false,
+            n => self.now_nanos().saturating_sub(n) <= PRESSURE_HOLD.as_nanos() as u64,
+        }
+    }
+
+    /// Derives the coarse load band: admission pressure (recent sheds or
+    /// blocked waiters) always reads as overload; otherwise the tps EWMA
+    /// is judged against the configured capacity, falling back to the
+    /// in-flight/permit ratio when no capacity estimate is set.
+    pub fn level(&self) -> LoadLevel {
+        if self.recent_pressure() {
+            return LoadLevel::Overload;
+        }
+        let capacity = self.capacity_tps();
+        if capacity > 0 {
+            let ratio = self.tps() / capacity as f64;
+            return if ratio >= 1.0 {
+                LoadLevel::Overload
+            } else if ratio >= 0.75 {
+                LoadLevel::High
+            } else if ratio >= 0.05 {
+                LoadLevel::Normal
+            } else {
+                LoadLevel::Idle
+            };
+        }
+        let cap = self.inflight_capacity.load(Ordering::Relaxed);
+        let inflight = self.inflight();
+        if cap > 0 {
+            if inflight >= cap {
+                LoadLevel::Overload
+            } else if inflight * 2 >= cap {
+                LoadLevel::High
+            } else if inflight > 0 {
+                LoadLevel::Normal
+            } else {
+                LoadLevel::Idle
+            }
+        } else if inflight > 0 {
+            LoadLevel::Normal
+        } else {
+            LoadLevel::Idle
+        }
+    }
+}
+
+impl std::fmt::Debug for LoadSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LoadSignal(level={}, tps={:.0}, latency_us={}, inflight={}, shed={})",
+            self.level(),
+            self.tps(),
+            self.latency_ewma_us(),
+            self.inflight(),
+            self.shed_requests(),
+        )
+    }
+}
+
+/// Bounded in-flight admission gate with deadline-bounded acquisition.
+/// `max = 0` means unbounded (the gate only maintains the in-flight
+/// gauge). Dropping the returned [`Permit`] releases the slot.
+pub struct Gate {
+    max: usize,
+    held: Mutex<usize>,
+    freed: Condvar,
+    signal: Arc<LoadSignal>,
+}
+
+impl Gate {
+    /// A gate admitting at most `max` concurrent holders (0 = unbounded),
+    /// publishing its gauge and shed counter on `signal`.
+    pub fn new(max: usize, signal: Arc<LoadSignal>) -> Arc<Gate> {
+        signal.set_inflight_capacity(max as u64);
+        Arc::new(Gate {
+            max,
+            held: Mutex::new(0),
+            freed: Condvar::new(),
+            signal,
+        })
+    }
+
+    /// Acquires a permit, waiting at most `deadline` for a slot. `None`
+    /// means the request was shed (counted on the signal): answer busy,
+    /// do not execute.
+    pub fn try_acquire_for(self: &Arc<Self>, deadline: Duration) -> Option<Permit> {
+        if self.max == 0 {
+            self.signal.enter_inflight();
+            return Some(Permit { gate: self.clone() });
+        }
+        let until = Instant::now() + deadline;
+        let mut held = self.held.lock();
+        while *held >= self.max {
+            self.signal.note_pressure();
+            let now = Instant::now();
+            if now >= until {
+                drop(held);
+                self.signal.record_shed_request();
+                return None;
+            }
+            self.freed.wait_for(&mut held, until - now);
+        }
+        *held += 1;
+        drop(held);
+        self.signal.enter_inflight();
+        Some(Permit { gate: self.clone() })
+    }
+
+    /// The permit capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+
+    /// Permits currently held.
+    pub fn held(&self) -> usize {
+        if self.max == 0 {
+            self.signal.inflight() as usize
+        } else {
+            *self.held.lock()
+        }
+    }
+}
+
+impl std::fmt::Debug for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gate({}/{})", self.held(), self.max)
+    }
+}
+
+/// One admitted request's slot in a [`Gate`]; dropping it frees the slot
+/// and wakes one waiter.
+pub struct Permit {
+    gate: Arc<Gate>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.signal.exit_inflight();
+        if self.gate.max != 0 {
+            let mut held = self.gate.held.lock();
+            *held = held.saturating_sub(1);
+            drop(held);
+            self.gate.freed.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_ewma_tracks_and_smooths() {
+        let s = LoadSignal::new();
+        assert_eq!(s.latency_ewma_us(), 0);
+        s.observe_commit(Duration::from_micros(800));
+        assert_eq!(s.latency_ewma_us(), 800, "first sample seeds the EWMA");
+        for _ in 0..64 {
+            s.observe_commit(Duration::from_micros(100));
+        }
+        let settled = s.latency_ewma_us();
+        assert!(
+            (50..=220).contains(&settled),
+            "EWMA must settle toward the new regime, got {settled}"
+        );
+    }
+
+    #[test]
+    fn tps_ewma_folds_windows_and_judges_capacity() {
+        let s = LoadSignal::new();
+        assert_eq!(s.level(), LoadLevel::Idle);
+        s.set_capacity_tps(1_000);
+        // ~25k commits across ≥2 window folds.
+        for burst in 0..5 {
+            for _ in 0..5_000 {
+                s.observe_commit(Duration::from_micros(50));
+            }
+            let _ = burst;
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        assert!(s.tps() > 1_000.0, "tps EWMA {} must exceed capacity", s.tps());
+        assert_eq!(s.level(), LoadLevel::Overload);
+        // Against a huge capacity the same traffic is not overload.
+        s.set_capacity_tps(100_000_000);
+        assert!(s.level() <= LoadLevel::Normal);
+    }
+
+    #[test]
+    fn inflight_ratio_derivation_without_capacity() {
+        let signal = Arc::new(LoadSignal::new());
+        let gate = Gate::new(4, signal.clone());
+        assert_eq!(signal.level(), LoadLevel::Idle);
+        let p1 = gate.try_acquire_for(Duration::from_millis(10)).unwrap();
+        assert_eq!(signal.level(), LoadLevel::Normal);
+        let _p2 = gate.try_acquire_for(Duration::from_millis(10)).unwrap();
+        let _p3 = gate.try_acquire_for(Duration::from_millis(10)).unwrap();
+        assert_eq!(signal.level(), LoadLevel::High, "3/4 permits is high");
+        drop(p1);
+        assert_eq!(signal.inflight(), 2);
+    }
+
+    #[test]
+    fn gate_sheds_on_deadline_and_releases_on_drop() {
+        let signal = Arc::new(LoadSignal::new());
+        let gate = Gate::new(2, signal.clone());
+        let p1 = gate.try_acquire_for(Duration::from_millis(5)).unwrap();
+        let _p2 = gate.try_acquire_for(Duration::from_millis(5)).unwrap();
+        assert_eq!(signal.inflight(), 2);
+        // Full gate: the third acquisition must shed within its deadline.
+        let t = Instant::now();
+        assert!(gate.try_acquire_for(Duration::from_millis(20)).is_none());
+        assert!(t.elapsed() >= Duration::from_millis(18));
+        assert_eq!(signal.shed_requests(), 1);
+        assert_eq!(
+            signal.level(),
+            LoadLevel::Overload,
+            "a shed marks admission pressure"
+        );
+        // A freed permit admits a blocked waiter.
+        let gate2 = gate.clone();
+        let waiter = std::thread::spawn(move || {
+            gate2.try_acquire_for(Duration::from_secs(10)).is_some()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        drop(p1);
+        assert!(waiter.join().unwrap(), "freed slot must admit the waiter");
+        assert_eq!(signal.shed_requests(), 1, "the admitted waiter is not a shed");
+    }
+
+    #[test]
+    fn unbounded_gate_only_tracks_inflight() {
+        let signal = Arc::new(LoadSignal::new());
+        let gate = Gate::new(0, signal.clone());
+        let permits: Vec<_> = (0..64)
+            .map(|_| gate.try_acquire_for(Duration::ZERO).unwrap())
+            .collect();
+        assert_eq!(signal.inflight(), 64);
+        drop(permits);
+        assert_eq!(signal.inflight(), 0);
+        assert_eq!(signal.shed_requests(), 0);
+    }
+
+    #[test]
+    fn capture_yield_and_shed_connection_counters() {
+        let s = LoadSignal::new();
+        s.record_capture_yield();
+        s.record_capture_yield();
+        s.record_shed_connection();
+        assert_eq!(s.capture_yields(), 2);
+        assert_eq!(s.shed_connections(), 1);
+        assert_eq!(s.level(), LoadLevel::Overload, "connection shed is pressure");
+    }
+}

@@ -142,10 +142,19 @@ pub struct CheckpointWriter {
     /// Unthrottled bytes accumulated since the last throttle charge;
     /// charged in chunks to keep throttle locking off the per-record path.
     pending_charge: usize,
+    /// Foreground load signal for adaptive scan pacing (attached by
+    /// [`crate::manifest::CheckpointDir::begin_parts`] when pacing is on).
+    pacer: Option<Arc<calc_common::load::LoadSignal>>,
+    /// Records since the last pacing check.
+    pace_stride: u32,
     finished: bool,
 }
 
 const CHARGE_CHUNK: usize = 256 * 1024;
+
+/// Records between pacing checks: one atomic load every `PACE_STRIDE`
+/// records keeps the signal off the per-record hot path.
+const PACE_STRIDE: u32 = 1024;
 
 impl CheckpointWriter {
     /// Creates a writer at `path` on the real filesystem.
@@ -197,6 +206,8 @@ impl CheckpointWriter {
             block: Vec::new(),
             throttle,
             pending_charge: 0,
+            pacer: None,
+            pace_stride: 0,
             finished: false,
         };
         let version = if codec == Codec::None {
@@ -269,6 +280,42 @@ impl CheckpointWriter {
         Ok(())
     }
 
+    /// Attaches the foreground load signal: every [`PACE_STRIDE`] records
+    /// the writer consults it and, under pressure, yields its scan
+    /// quantum to foreground transactions (counted on the signal as a
+    /// capture yield). This is the single interception point all capture
+    /// paths share, so every strategy inherits load-aware pacing.
+    pub fn set_pacer(&mut self, signal: Arc<calc_common::load::LoadSignal>) {
+        self.pacer = Some(signal);
+    }
+
+    /// One pacing check per [`PACE_STRIDE`] records: under
+    /// [`calc_common::load::LoadLevel::High`] the capture thread yields
+    /// its timeslice; under overload it parks briefly so foreground
+    /// commits get the cores. Capture always makes progress — pacing
+    /// stretches a cycle, it never wedges one.
+    #[inline]
+    fn pace(&mut self) {
+        self.pace_stride += 1;
+        if self.pace_stride < PACE_STRIDE {
+            return;
+        }
+        self.pace_stride = 0;
+        let Some(signal) = &self.pacer else { return };
+        use calc_common::load::LoadLevel;
+        match signal.level() {
+            LoadLevel::Overload => {
+                signal.record_capture_yield();
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            LoadLevel::High => {
+                signal.record_capture_yield();
+                std::thread::yield_now();
+            }
+            LoadLevel::Idle | LoadLevel::Normal => {}
+        }
+    }
+
     /// Appends a record value.
     pub fn write_record(&mut self, key: Key, value: &[u8]) -> io::Result<()> {
         let mut head = [0u8; 13];
@@ -278,6 +325,7 @@ impl CheckpointWriter {
         self.append_record_bytes(&head)?;
         self.append_record_bytes(value)?;
         self.count += 1;
+        self.pace();
         self.maybe_flush_block()
     }
 
@@ -288,6 +336,7 @@ impl CheckpointWriter {
         head[1..9].copy_from_slice(&key.0.to_le_bytes());
         self.append_record_bytes(&head)?;
         self.count += 1;
+        self.pace();
         self.maybe_flush_block()
     }
 

@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use calc_common::crc::crc32;
+use calc_common::load::{LoadLevel, LoadSignal};
 use calc_common::types::CommitSeq;
 use calc_common::vfs::{OsVfs, Vfs};
 
@@ -164,6 +165,11 @@ pub struct CheckpointDir {
     /// Raised by every publish and by every scan; captured into each new
     /// cycle's manifest as its `parent`.
     last_published: Arc<AtomicU64>,
+    /// Foreground load signal for adaptive capture pacing (set once at
+    /// boot when pacing is on). When present, [`CheckpointDir::checkpoint_threads`]
+    /// clamps effective parallelism under load and part writers yield
+    /// scan quanta to foreground traffic.
+    load: std::sync::OnceLock<Arc<LoadSignal>>,
 }
 
 /// An in-flight legacy single-file checkpoint: a [`CheckpointWriter`]
@@ -474,7 +480,20 @@ impl CheckpointDir {
             threads: AtomicUsize::new(1),
             codec: AtomicU8::new(Codec::None.to_byte()),
             last_published: Arc::new(AtomicU64::new(0)),
+            load: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attaches the foreground load signal (once, at boot): capture
+    /// parallelism and per-part scan pacing become load-aware. Without a
+    /// signal the directory behaves exactly as configured.
+    pub fn set_load_signal(&self, signal: Arc<LoadSignal>) {
+        let _ = self.load.set(signal);
+    }
+
+    /// The attached load signal, if adaptive pacing is on.
+    pub fn load_signal(&self) -> Option<&Arc<LoadSignal>> {
+        self.load.get()
     }
 
     /// Sets the block codec future checkpoints are written with. Existing
@@ -505,8 +524,27 @@ impl CheckpointDir {
         self.threads.store(threads.max(1), Ordering::Relaxed);
     }
 
-    /// The configured part count / capture thread pool size.
+    /// The *effective* part count / capture thread pool size: the
+    /// configured value, clamped down by the attached load signal so
+    /// capture parallelism never competes with an overloaded foreground.
+    /// Every strategy, the merger, and recovery replay size their pools
+    /// through this one accessor, so load-aware clamping covers all of
+    /// them:
+    ///
+    /// * [`LoadLevel::Overload`] → 1 thread (capture proceeds, serially);
+    /// * [`LoadLevel::High`] → half the configured threads;
+    /// * otherwise → the configured value.
     pub fn checkpoint_threads(&self) -> usize {
+        let configured = self.configured_checkpoint_threads();
+        match self.load.get().map(|s| s.level()) {
+            Some(LoadLevel::Overload) => 1,
+            Some(LoadLevel::High) => (configured / 2).max(1),
+            _ => configured,
+        }
+    }
+
+    /// The configured part count, before any load-aware clamping.
+    pub fn configured_checkpoint_threads(&self) -> usize {
         self.threads.load(Ordering::Relaxed).max(1)
     }
 
@@ -616,7 +654,10 @@ impl CheckpointDir {
                 self.throttle.clone(),
                 codec,
             ) {
-                Ok(w) => {
+                Ok(mut w) => {
+                    if let Some(signal) = self.load.get() {
+                        w.set_pacer(signal.clone());
+                    }
                     part_paths.push(path);
                     writers.push(w);
                 }

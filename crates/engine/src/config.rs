@@ -248,6 +248,19 @@ pub struct EngineConfig {
     /// many records are batched, even inside the window. `1` degenerates
     /// to per-commit fsync (the benchmark's baseline).
     pub group_commit_max_batch: usize,
+    /// Load-aware checkpoint pacing: when on (the default), capture
+    /// workers consult the engine's [`calc_common::LoadSignal`] — under
+    /// [`calc_common::LoadLevel::High`] the effective capture pool is
+    /// halved and writers yield between records; under `Overload` the
+    /// pool clamps to one thread and writers sleep briefly per stride,
+    /// ceding the machine to transaction workers. Off reproduces the
+    /// fixed-pool pre-pacing behaviour exactly.
+    pub adaptive_pacing: bool,
+    /// Expected saturation throughput in commits/sec, used by the load
+    /// signal to grade pressure (`0`, the default, disables the tps
+    /// ratio; load is then judged from admission-gate occupancy alone,
+    /// which only a server front-end provides).
+    pub load_capacity_tps: u64,
     /// Block codec checkpoint parts are written with ([`Codec::None`]
     /// keeps the legacy byte-identical format).
     pub codec: calc_core::Codec,
@@ -301,6 +314,8 @@ impl EngineConfig {
             log_segment_bytes: None,
             group_commit_window: std::time::Duration::from_millis(2),
             group_commit_max_batch: 4096,
+            adaptive_pacing: true,
+            load_capacity_tps: 0,
             codec: calc_core::Codec::None,
             keep_checkpoints: None,
             vfs: Arc::new(OsVfs),

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
+use calc_common::load::LoadSignal;
 use calc_common::types::{CommitSeq, Key, TxnId, Value};
 use calc_core::file::CheckpointKind;
 use calc_core::manifest::CheckpointDir;
@@ -42,6 +43,11 @@ pub enum TxnOutcome {
 /// Re-exported so existing engine callers keep their `SyncError` paths;
 /// the type now lives with the group-commit machinery it describes.
 pub use calc_recovery::SyncError;
+
+/// Slot for the ENOSPC emergency-retention trigger. The group-commit
+/// read-only observer captures it before `Inner` exists; boot fills it
+/// in once the engine is constructed.
+type RetentionTrigger = Arc<Mutex<Option<Box<dyn Fn() + Send + Sync>>>>;
 
 struct Request {
     proc: ProcId,
@@ -97,6 +103,11 @@ struct Inner {
     gate: RwLock<()>,
     dir: CheckpointDir,
     metrics: Arc<Metrics>,
+    /// Commit-path load signal: every commit feeds its latency and the
+    /// tps window here; the checkpoint capture path and a server
+    /// front-end's admission gate read it back. Shared (not owned) so
+    /// the server can hang its [`calc_common::Gate`] off the same signal.
+    load: Arc<LoadSignal>,
     txn_counter: AtomicU64,
     checkpoint_serial: Mutex<()>,
     merge_serial: Arc<Mutex<()>>,
@@ -293,6 +304,13 @@ impl Database {
             CheckpointDir::open_with_vfs(&config.checkpoint_dir, Arc::new(throttle), config.vfs.clone())?;
         dir.set_checkpoint_threads(config.checkpoint_threads);
         dir.set_codec(config.codec);
+        // The commit path feeds this signal; capture workers (pool sizing
+        // + per-record pacing) and the server's admission gate read it.
+        let load = Arc::new(LoadSignal::new());
+        load.set_capacity_tps(config.load_capacity_tps);
+        if config.adaptive_pacing {
+            dir.set_load_signal(load.clone());
+        }
         // Durable command logging: a dedicated sync thread group-commits
         // concurrent appends (append many, fsync once per deadline-bounded
         // batch) — the paper's §1 "logging of transactional input is
@@ -318,16 +336,31 @@ impl Database {
             config.checkpoint_tuning.degraded_after,
             config.checkpoint_tuning.watchdog,
         ));
+        // The read-only observer fires from the sync thread before `Inner`
+        // exists, so the emergency-retention trigger goes through a slot
+        // filled in after construction.
+        let retention_trigger: RetentionTrigger = Arc::new(Mutex::new(None));
         let cmdlog = backend.map(|b| {
             let observer_health = health.clone();
-            GroupCommitter::start(
+            let ro_health = health.clone();
+            let ro_trigger = retention_trigger.clone();
+            GroupCommitter::start_with(
                 b,
                 GroupCommitConfig {
                     window: config.group_commit_window,
                     max_batch: config.group_commit_max_batch.max(1),
+                    ..GroupCommitConfig::default()
                 },
                 Some(Box::new(move |records, fsync| {
                     observer_health.record_commit_batch(records as u64, fsync);
+                })),
+                Some(Box::new(move |entering| {
+                    ro_health.set_log_read_only(entering);
+                    if entering {
+                        if let Some(trigger) = ro_trigger.lock().as_ref() {
+                            trigger();
+                        }
+                    }
                 })),
             )
         });
@@ -339,6 +372,7 @@ impl Database {
             gate: RwLock::new(()),
             dir,
             metrics: Arc::new(Metrics::new()),
+            load,
             txn_counter: AtomicU64::new(1),
             checkpoint_serial: Mutex::new(()),
             merge_serial: Arc::new(Mutex::new(())),
@@ -354,6 +388,26 @@ impl Database {
             #[cfg(feature = "conform")]
             recorder: config.recorder.clone(),
         });
+
+        // Arm the emergency-retention trigger: ENOSPC on the command log
+        // kicks a detached retention pass (prune superseded chains,
+        // truncate covered segments) to free space inside the committer's
+        // heal window. Holds only a Weak ref so shutdown is never pinned.
+        {
+            let weak = Arc::downgrade(&inner);
+            *retention_trigger.lock() = Some(Box::new(move || {
+                if let Some(inner) = weak.upgrade() {
+                    let _ = std::thread::Builder::new()
+                        .name("calc-emergency-retention".into())
+                        .spawn(move || {
+                            // Serialize against checkpoint-cycle retention.
+                            let _serial = inner.checkpoint_serial.lock();
+                            inner.health.record_emergency_retention();
+                            inner.run_retention();
+                        });
+                }
+            }));
+        }
 
         let service = config.checkpoint_interval.map(|interval| {
             let cycle_inner = inner.clone();
@@ -532,6 +586,27 @@ impl Database {
     /// stalled-cycle watchdog.
     pub fn health(&self) -> &Arc<Health> {
         &self.inner.health
+    }
+
+    /// The engine's commit-path load signal. Every commit feeds it; the
+    /// checkpoint capture path paces against it, and a server front-end
+    /// hangs its admission gate off it so shed/inflight counters and
+    /// [`calc_common::LoadLevel`] grading share one source of truth.
+    pub fn load(&self) -> &Arc<LoadSignal> {
+        &self.inner.load
+    }
+
+    /// Whether the command log is in read-only degraded mode: it hit
+    /// ENOSPC and the group committer is retrying inside its heal window
+    /// while an emergency retention pass tries to free space. Callers
+    /// should reject writes (reads stay fine) until this clears.
+    pub fn log_read_only(&self) -> bool {
+        self.inner
+            .cmdlog
+            .lock()
+            .as_ref()
+            .map(|gc| gc.read_only())
+            .unwrap_or(false)
     }
 
     /// The active checkpointing strategy.
@@ -780,7 +855,11 @@ fn execute_one(inner: &Inner, req: &Request) -> (TxnOutcome, Option<DurabilityTi
     // benchmark harness use a synchronous same-key marker as a drain
     // barrier, which is only sound with this ordering).
     match &outcome {
-        TxnOutcome::Committed(_) => inner.metrics.record_commit(req.submitted.elapsed()),
+        TxnOutcome::Committed(_) => {
+            let latency = req.submitted.elapsed();
+            inner.metrics.record_commit(latency);
+            inner.load.observe_commit(latency);
+        }
         TxnOutcome::Aborted(_) => inner.metrics.record_abort(),
     }
     drop(guard);

@@ -163,6 +163,13 @@ pub struct Health {
     connections_opened: AtomicU64,
     /// Server connections closed, lifetime total.
     connections_closed: AtomicU64,
+    /// The command log hit ENOSPC and the engine is shedding writes while
+    /// the group committer retries inside its heal window.
+    log_read_only: AtomicBool,
+    /// Times the command log entered read-only degraded mode (ENOSPC).
+    log_enospc_entries: AtomicU64,
+    /// Emergency retention passes triggered by ENOSPC on the command log.
+    emergency_retention_passes: AtomicU64,
 }
 
 impl Health {
@@ -205,6 +212,9 @@ impl Health {
             fsync_latency: Histogram::new(),
             connections_opened: AtomicU64::new(0),
             connections_closed: AtomicU64::new(0),
+            log_read_only: AtomicBool::new(false),
+            log_enospc_entries: AtomicU64::new(0),
+            emergency_retention_passes: AtomicU64::new(0),
         }
     }
 
@@ -439,6 +449,40 @@ impl Health {
     /// Connections accepted over the engine's lifetime.
     pub fn total_connections(&self) -> u64 {
         self.connections_opened.load(Ordering::Relaxed)
+    }
+
+    // --- command-log read-only degradation (ENOSPC) ---
+
+    /// The command log's read-only mode transitioned: `true` entering
+    /// (ENOSPC on the log), `false` healing (space returned). Counts
+    /// entries; fed by the group committer's read-only observer.
+    pub fn set_log_read_only(&self, entering: bool) {
+        let was = self.log_read_only.swap(entering, Ordering::AcqRel);
+        if entering && !was {
+            self.log_enospc_entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the engine is currently shedding writes because the
+    /// command log hit ENOSPC (self-clears when the committer heals).
+    pub fn log_read_only(&self) -> bool {
+        self.log_read_only.load(Ordering::Acquire)
+    }
+
+    /// Times the command log entered read-only degraded mode.
+    pub fn log_enospc_entries(&self) -> u64 {
+        self.log_enospc_entries.load(Ordering::Relaxed)
+    }
+
+    /// An ENOSPC-triggered emergency retention pass ran (attempting to
+    /// free log segments and superseded checkpoints).
+    pub fn record_emergency_retention(&self) {
+        self.emergency_retention_passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Emergency retention passes triggered by log ENOSPC.
+    pub fn emergency_retention_passes(&self) -> u64 {
+        self.emergency_retention_passes.load(Ordering::Relaxed)
     }
 
     /// Background merges that failed.
@@ -808,6 +852,25 @@ mod tests {
         h.connection_closed();
         assert_eq!(h.active_connections(), 0);
         assert_eq!(h.total_connections(), 3, "total is monotone");
+    }
+
+    #[test]
+    fn log_read_only_transitions_count_entries_once() {
+        let h = Health::new(3, Duration::from_secs(1));
+        assert!(!h.log_read_only());
+        assert_eq!(h.log_enospc_entries(), 0);
+        h.set_log_read_only(true);
+        assert!(h.log_read_only());
+        assert_eq!(h.log_enospc_entries(), 1);
+        // Re-entering while already read-only is not a new entry.
+        h.set_log_read_only(true);
+        assert_eq!(h.log_enospc_entries(), 1);
+        h.set_log_read_only(false);
+        assert!(!h.log_read_only());
+        h.set_log_read_only(true);
+        assert_eq!(h.log_enospc_entries(), 2, "a fresh entry counts again");
+        h.record_emergency_retention();
+        assert_eq!(h.emergency_retention_passes(), 1);
     }
 
     #[test]

@@ -21,9 +21,30 @@
 //!   acknowledgement implies the commit survives any later crash
 //!   (ack-after-fsync, what a network server must promise).
 //!
-//! Error discipline: the first append or sync failure kills persistence.
-//! Every waiter in the failed batch — and every later submitter — gets
-//! the typed [`SyncError`] engines already expect; the sync thread keeps
+//! Error discipline (graceful degradation, not sudden death):
+//!
+//! * An **append** failure is immediately fatal: the record may be torn
+//!   mid-file, and appending more records after a tear would put valid
+//!   commits *behind* the point where replay stops — acknowledged writes
+//!   would silently vanish. The gap-free-prefix invariant of
+//!   [`crate::logfile::read_dir_logs`] is worth more than availability.
+//! * A **sync** failure is retried: the batch's bytes are already
+//!   appended, and fsync is idempotent, so the thread retries with
+//!   seeded capped-exponential backoff ([`calc_common::Backoff`]) up to
+//!   [`GroupCommitConfig::sync_retries`] times before giving up. A
+//!   transient sync-error window heals invisibly — waiters just see a
+//!   slightly slower ack.
+//! * **ENOSPC** on sync flips the committer into a *read-only degraded
+//!   mode* ([`GroupCommitter::read_only`], surfaced to operators through
+//!   the engine's `Health`): the thread keeps retrying the sync for up to
+//!   [`GroupCommitConfig::enospc_window`] while the caller sheds new
+//!   writes and runs an emergency retention pass to free space. If space
+//!   returns inside the window, the sync succeeds, the mode clears, and
+//!   every waiter is acknowledged — self-healing with zero lost acks.
+//!
+//! Only when retries are exhausted does the old discipline apply: every
+//! waiter in the failed batch — and every later submitter — gets the
+//! typed [`SyncError`] engines already expect; the sync thread keeps
 //! draining the channel so queued tickets fail fast instead of wedging
 //! until their timeout. The in-memory engine stays alive (degraded
 //! durability), exactly like the pre-group-commit logger thread.
@@ -35,6 +56,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 
+use calc_common::Backoff;
 use calc_txn::commitlog::CommitRecord;
 
 use crate::logfile::{CommandLogWriter, SegmentedLogWriter};
@@ -100,7 +122,7 @@ impl LogBackend for SegmentedLogWriter {
     }
 }
 
-/// Batching knobs.
+/// Batching and degradation knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct GroupCommitConfig {
     /// Deadline window: the first commit of a batch waits at most this
@@ -111,6 +133,21 @@ pub struct GroupCommitConfig {
     /// records are batched, even inside the window. `1` degenerates to
     /// per-commit fsync (the baseline the benchmark compares against).
     pub max_batch: usize,
+    /// How many times a failed batch *sync* (never an append — see the
+    /// module docs) is retried before the committer dies. 0 restores the
+    /// old first-failure-is-fatal discipline.
+    pub sync_retries: u32,
+    /// Backoff base delay between sync retries.
+    pub retry_base: Duration,
+    /// Backoff delay cap between sync retries.
+    pub retry_cap: Duration,
+    /// Seed for the deterministic retry jitter.
+    pub retry_seed: u64,
+    /// How long an ENOSPC sync failure keeps being retried (read-only
+    /// degraded mode) before the committer gives up and dies. Within the
+    /// window, freed disk space self-heals the committer with every
+    /// pending acknowledgement intact.
+    pub enospc_window: Duration,
 }
 
 impl Default for GroupCommitConfig {
@@ -118,6 +155,11 @@ impl Default for GroupCommitConfig {
         GroupCommitConfig {
             window: Duration::from_millis(2),
             max_batch: 4096,
+            sync_retries: 3,
+            retry_base: Duration::from_millis(2),
+            retry_cap: Duration::from_millis(100),
+            retry_seed: 0x6C06_5EED,
+            enospc_window: Duration::from_secs(5),
         }
     }
 }
@@ -126,6 +168,12 @@ impl Default for GroupCommitConfig {
 /// `(records_in_batch, fsync_latency)` — how the engine feeds its
 /// `Health` counters without this crate depending on the engine.
 pub type BatchObserver = Box<dyn Fn(usize, Duration) + Send + Sync>;
+
+/// Observer invoked on read-only-mode transitions: `true` entering
+/// (ENOSPC detected on the command log), `false` healing (space
+/// returned, sync succeeded). The engine hooks this to surface the flag
+/// through `Health` and to trigger an emergency retention pass.
+pub type ReadOnlyObserver = Box<dyn Fn(bool) + Send + Sync>;
 
 /// A waiter's half of one durability acknowledgement.
 type AckSender = Sender<Result<(), SyncError>>;
@@ -173,6 +221,10 @@ impl DurabilityTicket {
 struct Stats {
     batches: AtomicU64,
     records: AtomicU64,
+    /// Sync attempts that failed and were retried.
+    sync_retries: AtomicU64,
+    /// Times read-only degraded mode was entered (ENOSPC).
+    enospc_entries: AtomicU64,
 }
 
 /// The group-commit front of a durable command log: concurrent
@@ -186,6 +238,7 @@ struct Stats {
 pub struct GroupCommitter {
     tx: Option<Sender<Msg>>,
     dead: Arc<AtomicBool>,
+    read_only: Arc<AtomicBool>,
     stats: Arc<Stats>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -198,18 +251,43 @@ impl GroupCommitter {
         config: GroupCommitConfig,
         observer: Option<BatchObserver>,
     ) -> Self {
+        Self::start_with(backend, config, observer, None)
+    }
+
+    /// [`GroupCommitter::start`] with an additional read-only-mode
+    /// transition observer (see [`ReadOnlyObserver`]).
+    pub fn start_with(
+        backend: Box<dyn LogBackend>,
+        config: GroupCommitConfig,
+        observer: Option<BatchObserver>,
+        read_only_observer: Option<ReadOnlyObserver>,
+    ) -> Self {
         let (tx, rx) = unbounded::<Msg>();
         let dead = Arc::new(AtomicBool::new(false));
+        let read_only = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Stats::default());
         let thread_dead = dead.clone();
+        let thread_read_only = read_only.clone();
         let thread_stats = stats.clone();
         let handle = std::thread::Builder::new()
             .name("calc-group-commit".into())
-            .spawn(move || sync_loop(backend, config, observer, rx, thread_dead, thread_stats))
+            .spawn(move || {
+                sync_loop(
+                    backend,
+                    config,
+                    observer,
+                    read_only_observer,
+                    rx,
+                    thread_dead,
+                    thread_read_only,
+                    thread_stats,
+                )
+            })
             .expect("spawn group-commit sync thread");
         GroupCommitter {
             tx: Some(tx),
             dead,
+            read_only,
             stats,
             handle: Some(handle),
         }
@@ -273,6 +351,24 @@ impl GroupCommitter {
         self.dead.load(Ordering::Acquire)
     }
 
+    /// Whether the committer is in read-only degraded mode: the command
+    /// log hit ENOSPC and the sync thread is retrying inside its heal
+    /// window. Callers should shed new writes and free disk space; the
+    /// mode clears itself once a sync succeeds.
+    pub fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// Failed sync attempts that were retried, lifetime total.
+    pub fn sync_retries(&self) -> u64 {
+        self.stats.sync_retries.load(Ordering::Relaxed)
+    }
+
+    /// Times read-only degraded mode was entered, lifetime total.
+    pub fn enospc_entries(&self) -> u64 {
+        self.stats.enospc_entries.load(Ordering::Relaxed)
+    }
+
     /// Successful batches fsynced so far.
     pub fn batches(&self) -> u64 {
         self.stats.batches.load(Ordering::Relaxed)
@@ -307,12 +403,72 @@ impl std::fmt::Debug for GroupCommitter {
     }
 }
 
+/// ENOSPC, the one `io::Error` that self-heals when an operator (or an
+/// emergency retention pass) frees disk space.
+fn is_enospc(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28)
+}
+
+/// Syncs the backend, retrying per the module-level error discipline:
+/// transient errors up to `config.sync_retries` attempts with seeded
+/// backoff; ENOSPC for up to `config.enospc_window` wall time with the
+/// read-only flag raised in between. Returns the final error only once
+/// retries are exhausted — the caller then applies the fatal path.
+fn sync_with_retry(
+    backend: &mut dyn LogBackend,
+    config: &GroupCommitConfig,
+    read_only: &AtomicBool,
+    read_only_observer: &Option<ReadOnlyObserver>,
+    stats: &Stats,
+) -> io::Result<()> {
+    let mut backoff = Backoff::new(config.retry_base, config.retry_cap, config.retry_seed);
+    let mut transient_attempts = 0u32;
+    let mut enospc_since: Option<Instant> = None;
+    loop {
+        match backend.sync() {
+            Ok(()) => {
+                if read_only.swap(false, Ordering::AcqRel) {
+                    if let Some(obs) = read_only_observer {
+                        obs(false);
+                    }
+                }
+                return Ok(());
+            }
+            Err(e) if is_enospc(&e) => {
+                if !read_only.swap(true, Ordering::AcqRel) {
+                    stats.enospc_entries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(obs) = read_only_observer {
+                        obs(true);
+                    }
+                }
+                let since = *enospc_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= config.enospc_window {
+                    return Err(e);
+                }
+                stats.sync_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff.next_delay());
+            }
+            Err(e) => {
+                if transient_attempts >= config.sync_retries {
+                    return Err(e);
+                }
+                transient_attempts += 1;
+                stats.sync_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn sync_loop(
     mut backend: Box<dyn LogBackend>,
     config: GroupCommitConfig,
     observer: Option<BatchObserver>,
+    read_only_observer: Option<ReadOnlyObserver>,
     rx: Receiver<Msg>,
     dead: Arc<AtomicBool>,
+    read_only: Arc<AtomicBool>,
     stats: Arc<Stats>,
 ) {
     let max_batch = config.max_batch.max(1);
@@ -369,8 +525,24 @@ fn sync_loop(
 
         let fsync_started = Instant::now();
         if failure.is_none() {
-            if let Err(e) = backend.sync() {
+            if let Err(e) = sync_with_retry(
+                backend.as_mut(),
+                &config,
+                &read_only,
+                &read_only_observer,
+                &stats,
+            ) {
                 failure = Some(e);
+            }
+        } else if let Some(e) = &failure {
+            // Append failures are fatal regardless (see module docs), but
+            // an ENOSPC append still raises the read-only flag so the
+            // operator-facing story (free space, shed writes) is the same.
+            if is_enospc(e) && !read_only.swap(true, Ordering::AcqRel) {
+                stats.enospc_entries.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &read_only_observer {
+                    obs(true);
+                }
             }
         }
         match failure {
@@ -461,6 +633,7 @@ mod tests {
             GroupCommitConfig {
                 window: Duration::from_secs(5),
                 max_batch: 1 << 20,
+                ..Default::default()
             },
             None,
         ));
@@ -504,6 +677,7 @@ mod tests {
             GroupCommitConfig {
                 window: Duration::from_millis(50),
                 max_batch: 1,
+                ..Default::default()
             },
             None,
         );
@@ -538,6 +712,7 @@ mod tests {
             GroupCommitConfig {
                 window: Duration::from_millis(20),
                 max_batch: 1 << 20,
+                ..Default::default()
             },
             None,
         ));
@@ -587,6 +762,7 @@ mod tests {
             GroupCommitConfig {
                 window: Duration::from_secs(60),
                 max_batch: 1 << 20,
+                ..Default::default()
             },
             None,
         );
@@ -616,6 +792,7 @@ mod tests {
             GroupCommitConfig {
                 window: Duration::from_secs(5),
                 max_batch: 1 << 20,
+                ..Default::default()
             },
             Some(Box::new(move |records, latency| {
                 seen2.lock().push((records, latency));
@@ -628,5 +805,164 @@ mod tests {
         let batches = seen.lock().clone();
         assert_eq!(batches.iter().map(|(n, _)| n).sum::<usize>(), 7);
         assert!(!batches.is_empty());
+    }
+
+    /// A backend whose `sync` outcome is scripted per attempt. SimVfs
+    /// transients only cover data ops (writes/creates), never fsyncs, so
+    /// sync-retry behaviour needs its own harness.
+    struct ScriptedSyncBackend {
+        inner: Box<dyn LogBackend>,
+        /// Returns `Some(err)` to fail this sync attempt, `None` to let
+        /// it through. Called once per attempt, in order.
+        script: Box<dyn FnMut(u64) -> Option<io::Error> + Send>,
+        attempts: std::sync::Arc<AtomicU64>,
+    }
+
+    impl LogBackend for ScriptedSyncBackend {
+        fn append(&mut self, rec: &CommitRecord) -> io::Result<()> {
+            self.inner.append(rec)
+        }
+        fn sync(&mut self) -> io::Result<()> {
+            let n = self.attempts.fetch_add(1, Ordering::Relaxed);
+            if let Some(e) = (self.script)(n) {
+                return Err(e);
+            }
+            self.inner.sync()
+        }
+    }
+
+    fn fast_retry_config() -> GroupCommitConfig {
+        GroupCommitConfig {
+            window: Duration::from_millis(5),
+            max_batch: 1 << 20,
+            sync_retries: 3,
+            retry_base: Duration::from_millis(1),
+            retry_cap: Duration::from_millis(4),
+            retry_seed: 0x6C0_7777,
+            enospc_window: Duration::from_secs(2),
+        }
+    }
+
+    /// Graceful-degradation regression: a transient sync-error window
+    /// (two failing fsync attempts, then healed) must not kill the
+    /// committer or fail any durable ticket — the waiter just sees a
+    /// slightly slower acknowledgement.
+    #[test]
+    fn transient_sync_window_heals_without_killing_committer() {
+        let vfs = SimVfs::new(0x6C0_6666);
+        let attempts = std::sync::Arc::new(AtomicU64::new(0));
+        let backend = Box::new(ScriptedSyncBackend {
+            inner: seg_backend(&vfs, "/gc/heal"),
+            script: Box::new(|n| {
+                (n < 2).then(|| io::Error::new(io::ErrorKind::Interrupted, "injected sync error"))
+            }),
+            attempts: attempts.clone(),
+        });
+        let gc = GroupCommitter::start(backend, fast_retry_config(), None);
+        gc.submit_durable(rec(1))
+            .wait(Duration::from_secs(30))
+            .expect("ticket must resolve Ok through the healed window");
+        assert!(!gc.is_dead(), "a healed sync window must not kill the committer");
+        assert!(!gc.read_only(), "non-ENOSPC errors never enter read-only mode");
+        assert!(gc.sync_retries() >= 2, "both failed attempts counted as retries");
+        assert_eq!(gc.records(), 1);
+        // The committer keeps working normally afterwards.
+        gc.submit_durable(rec(2))
+            .wait(Duration::from_secs(30))
+            .unwrap();
+        drop(gc);
+        let recovered = read_dir_logs(&vfs, &PathBuf::from("/gc/heal")).unwrap();
+        assert_eq!(recovered.len(), 2, "every acknowledged record durable");
+    }
+
+    /// A *persistent* sync failure still yields the typed logger death —
+    /// fast (bounded by sync_retries × retry_cap), not after wedging.
+    #[test]
+    fn persistent_sync_failure_dies_fast_and_typed() {
+        let vfs = SimVfs::new(0x6C0_8888);
+        let attempts = std::sync::Arc::new(AtomicU64::new(0));
+        let backend = Box::new(ScriptedSyncBackend {
+            inner: seg_backend(&vfs, "/gc/persistent"),
+            script: Box::new(|_| {
+                Some(io::Error::other("disk is gone"))
+            }),
+            attempts: attempts.clone(),
+        });
+        let gc = GroupCommitter::start(backend, fast_retry_config(), None);
+        let started = Instant::now();
+        let r = gc.submit_durable(rec(1)).wait(Duration::from_secs(30));
+        assert!(
+            matches!(r, Err(SyncError::LoggerDied) | Err(SyncError::LoggerExited)),
+            "persistent sync failure must surface the typed death, got {r:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "retries are bounded: death must be fast, took {:?}",
+            started.elapsed()
+        );
+        // 1 initial + sync_retries attempts, then gave up.
+        assert_eq!(attempts.load(Ordering::Relaxed), 4);
+        assert_eq!(gc.sync_retries(), 3);
+        assert_eq!(gc.records(), 0, "no record may be counted durable");
+    }
+
+    /// ENOSPC self-heal: while the disk is "full" the committer sits in
+    /// read-only degraded mode (observer fired `true`); once space frees
+    /// inside the window, the sync succeeds, the mode clears (observer
+    /// fired `false`), and the pending durable ticket resolves Ok — zero
+    /// acknowledged-write loss.
+    #[test]
+    fn enospc_enters_read_only_and_self_heals() {
+        let vfs = SimVfs::new(0x6C0_9999);
+        let full = std::sync::Arc::new(AtomicBool::new(true));
+        let full2 = full.clone();
+        let attempts = std::sync::Arc::new(AtomicU64::new(0));
+        let backend = Box::new(ScriptedSyncBackend {
+            inner: seg_backend(&vfs, "/gc/enospc"),
+            script: Box::new(move |_| {
+                full2
+                    .load(Ordering::Acquire)
+                    .then(|| io::Error::from_raw_os_error(28))
+            }),
+            attempts: attempts.clone(),
+        });
+        let transitions = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let transitions2 = transitions.clone();
+        let gc = std::sync::Arc::new(GroupCommitter::start_with(
+            backend,
+            fast_retry_config(),
+            None,
+            Some(Box::new(move |entering| {
+                transitions2.lock().push(entering);
+            })),
+        ));
+        let waiter = {
+            let gc = gc.clone();
+            std::thread::spawn(move || gc.submit_durable(rec(1)).wait(Duration::from_secs(30)))
+        };
+        // The committer must publish read-only mode while the disk is full.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !gc.read_only() {
+            assert!(Instant::now() < deadline, "read-only mode never published");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(!gc.is_dead(), "inside the ENOSPC window the committer lives");
+        // "Free disk space": the next retry succeeds and heals the mode.
+        full.store(false, Ordering::Release);
+        waiter
+            .join()
+            .unwrap()
+            .expect("durable ticket resolves Ok after the heal — no lost ack");
+        assert!(!gc.read_only(), "healed sync must clear read-only mode");
+        assert!(!gc.is_dead());
+        assert_eq!(gc.enospc_entries(), 1);
+        assert_eq!(
+            transitions.lock().clone(),
+            vec![true, false],
+            "observer sees exactly one enter/heal pair"
+        );
+        drop(std::sync::Arc::try_unwrap(gc).unwrap_or_else(|_| panic!("sole owner")));
+        let recovered = read_dir_logs(&vfs, &PathBuf::from("/gc/enospc")).unwrap();
+        assert_eq!(recovered.len(), 1, "the acknowledged record is on disk");
     }
 }

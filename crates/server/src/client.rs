@@ -1,8 +1,23 @@
 //! A small blocking client for the wire protocol — used by the examples,
 //! the load generator, and the integration tests.
+//!
+//! Hardening ([`ClientConfig`]): connect/read/write socket timeouts, and
+//! optional seeded-jitter retry ([`calc_common::Backoff`]) on transient
+//! failures. The retry matrix is deliberately conservative:
+//!
+//! * [`KvError::Busy`] (admission shed) is retried for **every** verb —
+//!   the server rejects *before* executing anything, so even a CAS retry
+//!   is unambiguous.
+//! * [`KvError::Io`] (transport failure) is ambiguous — the request may
+//!   or may not have executed — so only *read* verbs reconnect and
+//!   retry. Write verbs, and above all non-idempotent CAS, surface the
+//!   error to the caller, who alone knows how to probe the outcome.
 
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use calc_common::Backoff;
 
 use crate::protocol::{read_frame, status, verb, write_frame, Frame, Wire, WireError};
 
@@ -20,6 +35,9 @@ pub enum KvError {
     Server(String),
     /// The server rejected the request as malformed.
     BadRequest(String),
+    /// Admission control shed the request (or connection) before doing
+    /// any work — always safe to retry, even a CAS.
+    Busy(String),
     /// The response payload did not parse.
     Protocol(String),
 }
@@ -31,6 +49,7 @@ impl std::fmt::Display for KvError {
             KvError::Aborted(r) => write!(f, "aborted: {r}"),
             KvError::Server(m) => write!(f, "server error: {m}"),
             KvError::BadRequest(m) => write!(f, "bad request: {m}"),
+            KvError::Busy(m) => write!(f, "busy (shed): {m}"),
             KvError::Protocol(m) => write!(f, "protocol: {m}"),
         }
     }
@@ -65,22 +84,94 @@ pub fn key_of(name: &str) -> u64 {
     x & ((1 << 56) - 1)
 }
 
+/// Socket-timeout and retry knobs for a [`Client`]. The default is
+/// timeouts on, retries **off** — existing callers see identical
+/// behaviour (one attempt, typed errors) plus protection from a wedged
+/// server socket.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-address TCP connect timeout (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout for responses (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for requests (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+    /// Extra attempts after a retryable failure (see the module docs for
+    /// the retry matrix). `0` disables retry entirely.
+    pub retries: u32,
+    /// Backoff base delay between retries.
+    pub retry_base: Duration,
+    /// Backoff delay cap between retries.
+    pub retry_cap: Duration,
+    /// Seed for the deterministic retry jitter.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retries: 0,
+            retry_base: Duration::from_millis(5),
+            retry_cap: Duration::from_millis(250),
+            retry_seed: 0xC11E_57EE,
+        }
+    }
+}
+
 /// One connection speaking the wire protocol. Requests are synchronous:
 /// one frame out, one frame back.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Resolved addresses, kept for reconnect on read-verb Io retry.
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    backoff: Backoff,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with [`ClientConfig::default`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit timeout/retry knobs. Transient connect
+    /// errors are retried `config.retries` times under seeded backoff.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut backoff = Backoff::new(config.retry_base, config.retry_cap, config.retry_seed);
+        let mut attempt = 0u32;
+        let stream = loop {
+            match open_stream(&addrs, &config) {
+                Ok(s) => break s,
+                Err(e) if attempt < config.retries => {
+                    attempt += 1;
+                    std::thread::sleep(backoff.next_delay());
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        backoff.reset();
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            addrs,
+            config,
+            backoff,
         })
+    }
+
+    /// Drops the wedged/broken socket and dials a fresh one (same
+    /// resolved addresses, same timeouts).
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = open_stream(&self.addrs, &self.config)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = BufWriter::new(stream);
+        Ok(())
     }
 
     fn call(&mut self, op: u8, payload: &[u8]) -> KvResult<(u8, Vec<u8>)> {
@@ -94,21 +185,59 @@ impl Client {
         }
     }
 
-    /// Sends a request and maps non-OK statuses to typed errors.
-    fn ok(&mut self, op: u8, payload: &[u8]) -> KvResult<Vec<u8>> {
+    /// One attempt: sends a request and maps non-OK statuses to typed
+    /// errors.
+    fn ok_once(&mut self, op: u8, payload: &[u8]) -> KvResult<Vec<u8>> {
         let (st, body) = self.call(op, payload)?;
         match st {
             status::OK => Ok(body),
             status::ABORTED => Err(KvError::Aborted(text(body))),
             status::ERR => Err(KvError::Server(text(body))),
             status::BAD_REQUEST => Err(KvError::BadRequest(text(body))),
+            status::BUSY => Err(KvError::Busy(text(body))),
             other => Err(KvError::Protocol(format!("unknown status {other:#04x}"))),
+        }
+    }
+
+    /// [`Client::ok_once`] under the retry matrix: `Busy` retried for all
+    /// verbs (pre-execution shed, unambiguous), `Io` retried — with a
+    /// reconnect — only when `retry_io` says the verb is idempotent.
+    fn ok(&mut self, op: u8, payload: &[u8], retry_io: bool) -> KvResult<Vec<u8>> {
+        let mut attempt = 0u32;
+        loop {
+            match self.ok_once(op, payload) {
+                Err(KvError::Busy(m)) => {
+                    if attempt >= self.config.retries {
+                        return Err(KvError::Busy(m));
+                    }
+                    attempt += 1;
+                    let delay = self.backoff.next_delay();
+                    std::thread::sleep(delay);
+                }
+                Err(KvError::Io(e)) if retry_io => {
+                    if attempt >= self.config.retries {
+                        return Err(KvError::Io(e));
+                    }
+                    attempt += 1;
+                    let delay = self.backoff.next_delay();
+                    std::thread::sleep(delay);
+                    if let Err(re) = self.reconnect() {
+                        return Err(KvError::Io(re));
+                    }
+                }
+                other => {
+                    if attempt > 0 {
+                        self.backoff.reset();
+                    }
+                    return other;
+                }
+            }
         }
     }
 
     /// Point read.
     pub fn get(&mut self, key: u64) -> KvResult<Option<Vec<u8>>> {
-        let body = self.ok(verb::GET, &Frame::new().u64(key).finish())?;
+        let body = self.ok(verb::GET, &Frame::new().u64(key).finish(), true)?;
         let mut w = Wire::new(&body);
         Ok(match w.u8()? {
             0 => None,
@@ -118,13 +247,13 @@ impl Client {
 
     /// Durable upsert; `Ok(seq)` means the write survived its batch fsync.
     pub fn put(&mut self, key: u64, value: &[u8]) -> KvResult<u64> {
-        let body = self.ok(verb::PUT, &Frame::new().u64(key).tail(value).finish())?;
+        let body = self.ok(verb::PUT, &Frame::new().u64(key).tail(value).finish(), false)?;
         Ok(Wire::new(&body).u64()?)
     }
 
     /// Durable delete; aborts if the key is absent.
     pub fn del(&mut self, key: u64) -> KvResult<u64> {
-        let body = self.ok(verb::DEL, &Frame::new().u64(key).finish())?;
+        let body = self.ok(verb::DEL, &Frame::new().u64(key).finish(), false)?;
         Ok(Wire::new(&body).u64()?)
     }
 
@@ -136,7 +265,7 @@ impl Client {
             Some(exp) => f = f.u8(1).bytes(exp),
             None => f = f.u8(0),
         }
-        let body = self.ok(verb::CAS, &f.tail(new).finish())?;
+        let body = self.ok(verb::CAS, &f.tail(new).finish(), false)?;
         Ok(Wire::new(&body).u64()?)
     }
 
@@ -146,7 +275,7 @@ impl Client {
         for k in keys {
             f = f.u64(*k);
         }
-        let body = self.ok(verb::MGET, &f.finish())?;
+        let body = self.ok(verb::MGET, &f.finish(), true)?;
         let mut w = Wire::new(&body);
         let n = w.u32()? as usize;
         let mut out = Vec::with_capacity(n);
@@ -166,14 +295,14 @@ impl Client {
         for (k, v) in pairs {
             f = f.u64(*k).bytes(v);
         }
-        let body = self.ok(verb::MPUT, &f.finish())?;
+        let body = self.ok(verb::MPUT, &f.finish(), false)?;
         Ok(Wire::new(&body).u64()?)
     }
 
     /// Engine health text (`key=value` lines): commit batches, average
     /// batch size, fsync p99, connection counts, …
     pub fn health(&mut self) -> KvResult<String> {
-        Ok(text(self.ok(verb::HEALTH, &[])?))
+        Ok(text(self.ok(verb::HEALTH, &[], true)?))
     }
 
     /// [`Client::health`] parsed into `(key, value)` pairs.
@@ -190,15 +319,39 @@ impl Client {
 
     /// Triggers a checkpoint cycle and returns its stats line.
     pub fn checkpoint(&mut self) -> KvResult<String> {
-        Ok(text(self.ok(verb::CHECKPOINT, &[])?))
+        Ok(text(self.ok(verb::CHECKPOINT, &[], false)?))
     }
 
     /// Checkpoint-chain and retention stats text.
     pub fn stats(&mut self) -> KvResult<String> {
-        Ok(text(self.ok(verb::STATS, &[])?))
+        Ok(text(self.ok(verb::STATS, &[], true)?))
     }
 }
 
 fn text(body: Vec<u8>) -> String {
     String::from_utf8_lossy(&body).into_owned()
+}
+
+/// Dials the first address that answers, applying the configured connect
+/// and socket timeouts.
+fn open_stream(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+    let mut last: Option<io::Error> = None;
+    for a in addrs {
+        let attempt = match config.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(a, t),
+            None => TcpStream::connect(a),
+        };
+        match attempt {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                stream.set_read_timeout(config.read_timeout)?;
+                stream.set_write_timeout(config.write_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "no addresses to connect to")
+    }))
 }

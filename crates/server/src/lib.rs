@@ -19,8 +19,8 @@ pub mod procs;
 pub mod protocol;
 pub mod server;
 
-pub use client::{key_of, Client, KvError, KvResult};
-pub use server::Server;
+pub use client::{key_of, Client, ClientConfig, KvError, KvResult};
+pub use server::{Server, ServerConfig};
 
 /// Opens (or recovers) a calc-server engine over `dir`: checkpoints under
 /// `dir/ckpts`, segmented command log under `dir/cmdlog`. If durable

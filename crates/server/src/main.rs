@@ -21,7 +21,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: calc-server --dir DIR [--addr HOST:PORT] [--port-file PATH]\n\
          \x20                 [--workers N] [--window-us N] [--max-batch N]\n\
-         \x20                 [--checkpoint-every-ms N]"
+         \x20                 [--checkpoint-every-ms N] [--max-connections N]\n\
+         \x20                 [--max-inflight N] [--queue-deadline-ms N]\n\
+         \x20                 [--frame-timeout-ms N] [--capacity-tps N]\n\
+         \x20                 [--no-adaptive-pacing]"
     );
     std::process::exit(2);
 }
@@ -35,6 +38,9 @@ fn main() {
     let mut window_us: Option<u64> = None;
     let mut max_batch: Option<usize> = None;
     let mut checkpoint_every_ms: Option<u64> = None;
+    let mut server_config = calc_server::ServerConfig::default();
+    let mut capacity_tps: Option<u64> = None;
+    let mut adaptive_pacing = true;
 
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -46,6 +52,22 @@ fn main() {
             "--window-us" => window_us = value().parse().ok(),
             "--max-batch" => max_batch = value().parse().ok(),
             "--checkpoint-every-ms" => checkpoint_every_ms = value().parse().ok(),
+            "--max-connections" => {
+                server_config.max_connections = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--max-inflight" => {
+                server_config.max_inflight = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--queue-deadline-ms" => {
+                server_config.queue_deadline =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--frame-timeout-ms" => {
+                server_config.frame_timeout =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--capacity-tps" => capacity_tps = value().parse().ok(),
+            "--no-adaptive-pacing" => adaptive_pacing = false,
             _ => usage(),
         }
     }
@@ -63,10 +85,15 @@ fn main() {
             config.group_commit_max_batch = b.max(1);
         }
         config.checkpoint_interval = checkpoint_every_ms.map(Duration::from_millis);
+        config.adaptive_pacing = adaptive_pacing;
+        if let Some(tps) = capacity_tps {
+            config.load_capacity_tps = tps;
+        }
     })
     .expect("open or recover engine");
 
-    let server = calc_server::Server::start(Arc::new(db), &addr).expect("bind server");
+    let server = calc_server::Server::start_with(Arc::new(db), &addr, server_config)
+        .expect("bind server");
     let bound = server.local_addr();
     if let Some(path) = port_file {
         // Write-then-rename so a watcher never reads a torn port number.

@@ -61,6 +61,11 @@ pub mod status {
     /// Malformed request frame; payload is the message. The connection
     /// stays open — framing is intact, only the payload was bad.
     pub const BAD_REQUEST: u8 = 0x03;
+    /// Admission control shed this request (or connection) *before*
+    /// executing anything: the in-flight permit gate timed out, the
+    /// connection cap was hit, or the engine is in read-only degraded
+    /// mode. Always safe to retry — the server did no work on it.
+    pub const BUSY: u8 = 0x04;
 }
 
 /// Writes one frame.

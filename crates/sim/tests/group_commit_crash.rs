@@ -139,6 +139,7 @@ fn crash_mid_stream_durable_floor_covers_every_ack() {
             GroupCommitConfig {
                 window: Duration::from_micros(200),
                 max_batch: 64,
+                ..Default::default()
             },
             4,
             crash_after,
@@ -160,6 +161,7 @@ fn crash_under_per_commit_fsync_honors_same_contract() {
         GroupCommitConfig {
             window: Duration::from_micros(50),
             max_batch: 1,
+            ..Default::default()
         },
         2,
         3,
@@ -182,6 +184,7 @@ fn mixed_disciplines_lose_only_unacknowledged_tail() {
         GroupCommitConfig {
             window: Duration::from_secs(60), // only explicit flushes close batches
             max_batch: 1 << 20,
+            ..Default::default()
         },
         None,
     );

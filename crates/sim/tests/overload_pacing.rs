@@ -1,0 +1,123 @@
+//! Adaptive checkpoint pacing under synthetic overload, at the engine
+//! level (no server, no sockets — the load signal is driven directly).
+//!
+//! Three claims from the tentpole:
+//!
+//! * when the tps EWMA crosses the configured capacity, the load level
+//!   reads `Overload` and the effective capture pool
+//!   (`CheckpointDir::checkpoint_threads`) clamps to 1 — every strategy
+//!   sizes its pool through that one method, so one assertion covers all;
+//! * a checkpoint cycle captured under overload yields scan quanta
+//!   (`capture_yields > 0`) — the capture path visibly backs off;
+//! * with `adaptive_pacing: false` the same pressure changes nothing:
+//!   configured parallelism, zero yields.
+
+use std::time::Duration;
+
+use calc_engine::{Database, EngineConfig, StrategyKind};
+use calc_txn::proc::ProcRegistry;
+
+const CONFIGURED_THREADS: usize = 4;
+
+fn open_db(name: &str, adaptive: bool, capacity_tps: u64) -> Database {
+    let dir = std::env::temp_dir().join(format!(
+        "calc-overload-pacing-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ec = EngineConfig::new(StrategyKind::Calc, 1 << 16, 64, dir);
+    ec.workers = 2;
+    ec.checkpoint_threads = CONFIGURED_THREADS;
+    ec.adaptive_pacing = adaptive;
+    ec.load_capacity_tps = capacity_tps;
+    Database::open(ec, ProcRegistry::new()).unwrap()
+}
+
+/// Pushes the tps EWMA past `capacity` by bursting synthetic commit
+/// observations across several window folds (the signal folds its
+/// throughput window every ~100ms).
+fn drive_overload(db: &Database) {
+    for _ in 0..5 {
+        for _ in 0..5_000 {
+            db.load().observe_commit(Duration::from_micros(50));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+    }
+}
+
+#[test]
+fn overload_clamps_effective_capture_parallelism_to_one() {
+    let db = open_db("clamp", true, 1_000);
+    let dir = db.checkpoint_dir();
+    assert_eq!(dir.configured_checkpoint_threads(), CONFIGURED_THREADS);
+    assert_eq!(
+        dir.checkpoint_threads(),
+        CONFIGURED_THREADS,
+        "idle engine must run the configured pool"
+    );
+
+    drive_overload(&db);
+    assert_eq!(db.load().level(), calc_common::LoadLevel::Overload);
+    assert_eq!(
+        dir.checkpoint_threads(),
+        1,
+        "overload must clamp the capture pool to one worker"
+    );
+    assert_eq!(
+        dir.configured_checkpoint_threads(),
+        CONFIGURED_THREADS,
+        "the configured value is not rewritten, only the effective one"
+    );
+    db.shutdown();
+}
+
+#[test]
+fn capture_under_overload_yields_scan_quanta() {
+    let db = open_db("yields", true, 1_000);
+    // Enough records that capture crosses several pacing strides (the
+    // writer consults the signal every 1024 records).
+    for k in 0..20_000u64 {
+        db.load_initial(calc_common::Key(k), &k.to_le_bytes()).unwrap();
+    }
+    assert_eq!(db.load().capture_yields(), 0);
+
+    // Admission pressure holds Overload for a second — longer than this
+    // capture takes — without needing a live tps stream mid-capture.
+    db.load().note_pressure();
+    let stats = db.checkpoint_now().unwrap();
+    assert!(stats.records >= 20_000);
+    let yields = db.load().capture_yields();
+    assert!(
+        yields > 0,
+        "capture under overload must yield scan quanta, got 0"
+    );
+    db.shutdown();
+}
+
+#[test]
+fn pacing_off_ignores_pressure_entirely() {
+    let db = open_db("off", false, 1_000);
+    for k in 0..20_000u64 {
+        db.load_initial(calc_common::Key(k), &k.to_le_bytes()).unwrap();
+    }
+    drive_overload(&db);
+    db.load().note_pressure();
+    assert_eq!(
+        db.load().level(),
+        calc_common::LoadLevel::Overload,
+        "the signal itself still grades the load"
+    );
+    assert_eq!(
+        db.checkpoint_dir().checkpoint_threads(),
+        CONFIGURED_THREADS,
+        "pacing off: effective parallelism stays configured"
+    );
+    let stats = db.checkpoint_now().unwrap();
+    assert!(stats.records >= 20_000);
+    assert_eq!(
+        db.load().capture_yields(),
+        0,
+        "pacing off: capture never yields"
+    );
+    db.shutdown();
+}

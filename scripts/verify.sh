@@ -5,11 +5,16 @@
 # conformance suite in calc-conform at three fixed base seeds), tier-4
 # (the transient-fault sweep, run serially and again with 4-way parallel
 # checkpoint capture), tier-5 (the two-node warm-standby failover
-# sweep at three fixed base seeds), and tier-6 (the calc-server suite:
+# sweep at three fixed base seeds), tier-6 (the calc-server suite:
 # wire-protocol round trips over real TCP, the shutdown-under-load
 # durability test, and the kill-9 smoke — the real server binary on an
 # ephemeral port, concurrent writers, SIGKILL mid-traffic, restart over
-# the same directory, and every acknowledged write must survive). Any
+# the same directory, and every acknowledged write must survive), and
+# tier-7 (the chaos/overload suite at fixed seeds: wire-protocol fuzzing
+# — garbage opcodes, oversized prefixes, truncated frames, slowloris —
+# the overload sweep past saturation with a concurrent checkpoint, the
+# connection-cap test, the fault-injecting proxy, and the engine-level
+# adaptive-pacing regressions; replay a seed with CHAOS_SEED=<n>). Any
 # failure panics with the exact replayable spec, reproducible via e.g.:
 #
 #   SIM_SEED=0xdeadbeef cargo test -p calc-sim
@@ -59,5 +64,13 @@ done
 
 echo "== tier-6: server smoke (calc-server: wire verbs, shutdown under load, kill -9) =="
 cargo test --package calc-server --quiet
+
+echo "== tier-7: chaos/overload suite (fuzz + overload sweep + pacing, 2 fixed seeds) =="
+for seed in 64222 1311768467750121216; do
+    echo "  -- CHAOS_SEED=${seed}"
+    CHAOS_SEED="${seed}" cargo test --package calc-server --test protocol_fuzz --quiet
+    CHAOS_SEED="${seed}" cargo test --package calc-server --test overload_chaos --quiet
+done
+cargo test --package calc-sim --test overload_pacing --quiet
 
 echo "verify: all gates green"
