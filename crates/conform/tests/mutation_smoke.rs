@@ -79,6 +79,28 @@ fn assert_detected(mutation: Mutation) {
 
 #[test]
 fn skip_lock_is_detected() {
+    // Under the shard-owned executor the lock manager is off the
+    // execution path entirely — owner serialism and cross-shard fences
+    // isolate transactions — so sabotaging lock grants must change
+    // nothing. Assert exactly that: every seed stays clean. (A caught
+    // violation here would mean the owned path started consulting the
+    // lock manager it claims not to need.) The detection assertion runs
+    // in pool mode, where locks are the isolation mechanism.
+    if calc_engine::ExecutorMode::from_env() == calc_engine::ExecutorMode::ShardOwned {
+        let base = base_seed();
+        for i in 0..TRIES {
+            let seed = base ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let spec = spec_for(Mutation::SkipLock, seed);
+            if let Err(v) = run_stress_mutated(&spec, Mutation::SkipLock) {
+                panic!(
+                    "shard-owned execution must not depend on the lock \
+                     manager, but sabotaged lock grants produced {v} at \
+                     seed {seed:#x}"
+                );
+            }
+        }
+        return;
+    }
     assert_detected(Mutation::SkipLock);
 }
 

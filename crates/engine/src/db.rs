@@ -1,5 +1,28 @@
-//! The `Database` facade: submission queue, worker pool, admission gate,
-//! checkpoint triggering, and background merging.
+//! The `Database` facade: transaction executor (shared pool or
+//! thread-per-core shard ownership), admission gate, checkpoint
+//! triggering, and background merging.
+//!
+//! Two executor modes share every invariant below the dispatch layer:
+//!
+//! * [`ExecutorMode::Pool`] — the paper's §4 design: one submission
+//!   queue, any worker takes any transaction, isolation via the shared
+//!   ordered-2PL lock manager.
+//! * [`ExecutorMode::ShardOwned`] — thread-per-core shard ownership:
+//!   each worker owns a contiguous stripe of shards
+//!   ([`calc_txn::route::ShardRouter`], aligned with the checkpoint
+//!   pipeline's `ShardPartition` striping and recovery's `key % shards`
+//!   bucketing), transactions route to their pre-declared footprint's
+//!   owner, and single-owner transactions execute **lock-free** — owner
+//!   serialism replaces per-key latching. A footprint spanning several
+//!   owners takes a brief multi-shard *fence*: the lowest involved owner
+//!   coordinates, the others park until the commit completes. Fences
+//!   only ever target higher-indexed workers, so fence-wait edges form a
+//!   DAG and cannot deadlock.
+//!
+//! Both modes assign commit sequences and enqueue on the durable log
+//! under the single `cmdlog` mutex, so channel order equals seq order
+//! and deterministic replay, the conformance checker, group commit, and
+//! standby replay see byte-identical commit-token streams.
 
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -7,7 +30,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use calc_common::load::LoadSignal;
 use calc_common::types::{CommitSeq, Key, TxnId, Value};
@@ -23,11 +46,13 @@ use calc_recovery::{
     truncate_segments_below, CommandLogWriter, DurabilityTicket, GroupCommitConfig,
     GroupCommitter, LogBackend, SegmentedLogWriter, TruncateStats,
 };
+use calc_common::perturb::{point as perturb_point, Site};
 use calc_txn::commitlog::{CommitLog, CommitRecord};
 use calc_txn::locks::LockManager;
 use calc_txn::proc::{AbortReason, ProcId, ProcRegistry, TxnOps};
+use calc_txn::route::{Route, ShardRouter};
 
-use crate::config::{EngineConfig, StrategyKind};
+use crate::config::{EngineConfig, ExecutorMode, StrategyKind};
 use crate::metrics::{Health, Metrics};
 use crate::service::{classify, CheckpointService};
 
@@ -58,6 +83,158 @@ struct Request {
     /// thread (not a worker) blocks on the batch fsync.
     durable: bool,
     reply: Option<Sender<(TxnOutcome, Option<DurabilityTicket>)>>,
+}
+
+/// How a shard-owned worker must isolate a routed request, decided on the
+/// submitting thread from the procedure's pre-declared lock footprint.
+enum OwnedMode {
+    /// The whole footprint is owned by the receiving worker: execute
+    /// serially, no locks. Carries the procedure the router already
+    /// resolved, so the owner does zero registry lookups — the routed
+    /// fast path does strictly less per-transaction work than the pool.
+    Single(Arc<dyn calc_txn::proc::Procedure>),
+    /// The footprint spans the receiving worker (the coordinator, lowest
+    /// involved owner) plus these higher-indexed co-owners: fence them,
+    /// execute, release.
+    Cross(Arc<dyn calc_txn::proc::Procedure>, Vec<usize>),
+    /// Routing already failed (unknown procedure, undeclarable
+    /// footprint): the worker reports the abort without running anything,
+    /// so outcome accounting matches the pool executor exactly.
+    Abort(AbortReason),
+}
+
+/// A message on a shard-owned worker's queue.
+enum WorkerMsg {
+    Req(Request, OwnedMode),
+    /// Park until the sending coordinator's cross-shard commit completes.
+    Fence(Arc<FenceState>),
+    /// Drain-and-exit marker; [`Database::stop_threads`] sends exactly one
+    /// per worker, after all requests, and joins each worker in ascending
+    /// index order so no dead worker is ever a fence target.
+    Shutdown,
+}
+
+/// Rendezvous for a cross-shard fence: co-owners park, the coordinator
+/// waits for all of them, commits, and releases.
+///
+/// Deadlock freedom: fences only target workers with a *higher* index
+/// than the coordinator (the coordinator is the lowest involved owner),
+/// so every fence-wait edge points up the worker order and no cycle can
+/// form. The coordinator takes the admission gate only *after* every
+/// co-owner has parked — a parked worker holds no gate access, so a
+/// pending quiesce writer (which blocks new readers under parking_lot's
+/// writer preference) can serialize against the fence without wedging it.
+struct FenceState {
+    /// (parked co-owners, released flag).
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+    expected: usize,
+}
+
+impl FenceState {
+    fn new(expected: usize) -> Self {
+        FenceState {
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+            expected,
+        }
+    }
+
+    /// Co-owner side: register as parked, block until released.
+    fn park(&self) {
+        perturb_point(Site::OwnerHandoff);
+        let mut s = self.state.lock();
+        s.0 += 1;
+        self.cv.notify_all();
+        while !s.1 {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Coordinator side: wait until every co-owner is parked.
+    fn wait_parked(&self) {
+        let mut s = self.state.lock();
+        while s.0 < self.expected {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Coordinator side: the commit is done, release the co-owners.
+    fn release(&self) {
+        perturb_point(Site::OwnerHandoff);
+        let mut s = self.state.lock();
+        s.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The shard-owned executor's dispatch state: one queue per worker plus
+/// the router and per-worker depth gauges (shared with [`Health`]).
+struct ShardExec {
+    senders: Vec<Sender<WorkerMsg>>,
+    router: ShardRouter,
+    depths: Arc<[AtomicU64]>,
+}
+
+impl ShardExec {
+    /// Classifies a request's footprint and picks its worker. Counters
+    /// feed [`Health`] so routing quality is observable from day one.
+    fn route(&self, inner: &Inner, proc: ProcId, params: &[u8]) -> (usize, OwnedMode) {
+        let Some(p) = inner.registry.get(proc) else {
+            inner.health.record_routing_fallback();
+            return (
+                0,
+                OwnedMode::Abort(AbortReason::BadParams(format!(
+                    "unknown procedure {proc:?}"
+                ))),
+            );
+        };
+        match p.locks(params) {
+            Err(e) => {
+                inner.health.record_routing_fallback();
+                (0, OwnedMode::Abort(e))
+            }
+            Ok(request) => match self.router.classify(&request) {
+                Route::Single(w) => {
+                    inner.health.record_single_shard_txn();
+                    (w, OwnedMode::Single(p.clone()))
+                }
+                Route::Cross(owners) => {
+                    inner.health.record_cross_shard_txn();
+                    let coordinator = owners[0];
+                    (
+                        coordinator,
+                        OwnedMode::Cross(p.clone(), owners[1..].to_vec()),
+                    )
+                }
+                // An empty footprint touches nothing (the determinism
+                // contract), so serial execution anywhere is safe; pin it
+                // to worker 0 and count the fallback.
+                Route::Unrouted => {
+                    inner.health.record_routing_fallback();
+                    (0, OwnedMode::Single(p.clone()))
+                }
+            },
+        }
+    }
+
+    /// Routes and enqueues one request on its owner's queue.
+    fn dispatch(&self, inner: &Inner, req: Request) {
+        let (worker, mode) = self.route(inner, req.proc, &req.params);
+        self.depths[worker].fetch_add(1, Ordering::Relaxed);
+        perturb_point(Site::OwnerHandoff);
+        self.senders[worker]
+            .send(WorkerMsg::Req(req, mode))
+            .expect("workers alive");
+    }
+}
+
+/// The dispatch half of the executor, by mode. The `Option`s are taken at
+/// shutdown so workers observe closed queues (pool) or drain-and-exit
+/// markers (shard-owned).
+enum Executor {
+    Pool(Option<Sender<Request>>),
+    ShardOwned(Option<ShardExec>),
 }
 
 /// How long shutdown waits for a background thread before declaring the
@@ -243,7 +420,7 @@ impl Inner {
 /// chosen by [`EngineConfig::strategy`].
 pub struct Database {
     inner: Arc<Inner>,
-    sender: Option<Sender<Request>>,
+    executor: Executor,
     workers: Vec<std::thread::JoinHandle<()>>,
     /// The supervised checkpoint daemon, when
     /// [`EngineConfig::checkpoint_interval`] is set.
@@ -419,24 +596,71 @@ impl Database {
             )
         });
 
-        let (tx, rx) = match config.queue_capacity {
-            Some(n) => bounded::<Request>(n),
-            None => unbounded::<Request>(),
+        let worker_count = config.workers.max(1);
+        let (executor, workers) = match config.executor_mode {
+            ExecutorMode::Pool => {
+                let (tx, rx) = match config.queue_capacity {
+                    Some(n) => bounded::<Request>(n),
+                    None => unbounded::<Request>(),
+                };
+                let workers = (0..worker_count)
+                    .map(|i| {
+                        let inner = inner.clone();
+                        let rx: Receiver<Request> = rx.clone();
+                        std::thread::Builder::new()
+                            .name(format!("calc-worker-{i}"))
+                            .spawn(move || worker_loop(&inner, &rx))
+                            .expect("spawn worker")
+                    })
+                    .collect();
+                (Executor::Pool(Some(tx)), workers)
+            }
+            ExecutorMode::ShardOwned => {
+                let router = ShardRouter::new(worker_count, config.shards_per_worker);
+                let depths: Arc<[AtomicU64]> = (0..worker_count)
+                    .map(|_| AtomicU64::new(0))
+                    .collect::<Vec<_>>()
+                    .into();
+                inner.health.install_worker_queues(depths.clone());
+                let mut senders = Vec::with_capacity(worker_count);
+                let mut receivers = Vec::with_capacity(worker_count);
+                for _ in 0..worker_count {
+                    let (tx, rx) = match config.queue_capacity {
+                        Some(n) => bounded::<WorkerMsg>(n),
+                        None => unbounded::<WorkerMsg>(),
+                    };
+                    senders.push(tx);
+                    receivers.push(rx);
+                }
+                let workers = receivers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, rx)| {
+                        let inner = inner.clone();
+                        let senders = senders.clone();
+                        let depths = depths.clone();
+                        std::thread::Builder::new()
+                            .name(format!("calc-owner-{i}"))
+                            .spawn(move || {
+                                owned_worker_loop(&inner, &rx, &senders, &depths[i])
+                            })
+                            .expect("spawn worker")
+                    })
+                    .collect();
+                (
+                    Executor::ShardOwned(Some(ShardExec {
+                        senders,
+                        router,
+                        depths,
+                    })),
+                    workers,
+                )
+            }
         };
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let inner = inner.clone();
-                let rx: Receiver<Request> = rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("calc-worker-{i}"))
-                    .spawn(move || worker_loop(&inner, &rx))
-                    .expect("spawn worker")
-            })
-            .collect();
 
         Ok(Database {
             inner,
-            sender: Some(tx),
+            executor,
             workers,
             service,
         })
@@ -461,20 +685,32 @@ impl Database {
         }
     }
 
+    /// Routes one request to the executor: the shared queue (pool) or the
+    /// owner's queue chosen by footprint classification (shard-owned).
+    fn dispatch(&self, req: Request) {
+        match &self.executor {
+            Executor::Pool(tx) => tx
+                .as_ref()
+                .expect("database not shut down")
+                .send(req)
+                .expect("workers alive"),
+            Executor::ShardOwned(ex) => ex
+                .as_ref()
+                .expect("database not shut down")
+                .dispatch(&self.inner, req),
+        }
+    }
+
     /// Submits a transaction fire-and-forget. Blocks when the bounded
     /// queue is full (closed-loop backpressure).
     pub fn submit(&self, proc: ProcId, params: Arc<[u8]>) {
-        self.sender
-            .as_ref()
-            .expect("database not shut down")
-            .send(Request {
-                proc,
-                params,
-                submitted: Instant::now(),
-                durable: false,
-                reply: None,
-            })
-            .expect("workers alive");
+        self.dispatch(Request {
+            proc,
+            params,
+            submitted: Instant::now(),
+            durable: false,
+            reply: None,
+        });
     }
 
     /// Executes a transaction synchronously, returning its outcome. The
@@ -485,17 +721,13 @@ impl Database {
     /// [`Database::execute_durable`] for ack-after-fsync.
     pub fn execute(&self, proc: ProcId, params: Arc<[u8]>) -> TxnOutcome {
         let (tx, rx) = bounded(1);
-        self.sender
-            .as_ref()
-            .expect("database not shut down")
-            .send(Request {
-                proc,
-                params,
-                submitted: Instant::now(),
-                durable: false,
-                reply: Some(tx),
-            })
-            .expect("workers alive");
+        self.dispatch(Request {
+            proc,
+            params,
+            submitted: Instant::now(),
+            durable: false,
+            reply: Some(tx),
+        });
         rx.recv().expect("worker replies").0
     }
 
@@ -518,17 +750,13 @@ impl Database {
         params: Arc<[u8]>,
     ) -> Result<TxnOutcome, SyncError> {
         let (tx, rx) = bounded(1);
-        self.sender
-            .as_ref()
-            .expect("database not shut down")
-            .send(Request {
-                proc,
-                params,
-                submitted: Instant::now(),
-                durable: true,
-                reply: Some(tx),
-            })
-            .expect("workers alive");
+        self.dispatch(Request {
+            proc,
+            params,
+            submitted: Instant::now(),
+            durable: true,
+            reply: Some(tx),
+        });
         let (outcome, ticket) = rx.recv().expect("worker replies");
         match (&outcome, ticket) {
             (TxnOutcome::Committed(_), Some(ticket)) => {
@@ -629,6 +857,22 @@ impl Database {
         self.inner.kind
     }
 
+    /// The active executor mode.
+    pub fn executor_mode(&self) -> ExecutorMode {
+        match &self.executor {
+            Executor::Pool(_) => ExecutorMode::Pool,
+            Executor::ShardOwned(_) => ExecutorMode::ShardOwned,
+        }
+    }
+
+    /// The shard-owned executor's router (`None` under the legacy pool).
+    pub fn shard_router(&self) -> Option<ShardRouter> {
+        match &self.executor {
+            Executor::Pool(_) => None,
+            Executor::ShardOwned(ex) => ex.as_ref().map(|e| e.router),
+        }
+    }
+
     /// Recovers this (freshly opened, unused) database from its checkpoint
     /// directory plus a command log: loads the newest recovery chain,
     /// deterministically replays `commands` past the watermark, then
@@ -694,9 +938,28 @@ impl Database {
         if let Some(svc) = self.service.take() {
             svc.stop();
         }
-        drop(self.sender.take());
-        for w in self.workers.drain(..) {
-            join_bounded(w, "worker");
+        match &mut self.executor {
+            Executor::Pool(tx) => {
+                drop(tx.take());
+                for w in self.workers.drain(..) {
+                    join_bounded(w, "worker");
+                }
+            }
+            Executor::ShardOwned(ex) => {
+                if let Some(ex) = ex.take() {
+                    // Shut down in ascending index order, joining each
+                    // worker before signalling the next: fences only
+                    // target higher indices, so by the time worker i sees
+                    // its Shutdown marker every coordinator that could
+                    // still fence it (index < i) has already exited, and
+                    // every co-owner worker i itself may still need to
+                    // fence (index > i) is still alive.
+                    for (i, w) in self.workers.drain(..).enumerate() {
+                        let _ = ex.senders[i].send(WorkerMsg::Shutdown);
+                        join_bounded(w, "worker");
+                    }
+                }
+            }
         }
         for h in self.inner.mergers.lock().drain(..) {
             join_bounded(h, "merger");
@@ -761,10 +1024,69 @@ fn worker_loop(inner: &Inner, rx: &Receiver<Request>) {
     }
 }
 
-/// Runs one transaction. For a durable request that commits, the second
-/// element is the commit's [`DurabilityTicket`] — the worker never waits
-/// on it (a worker parked on an fsync would stall the whole pool behind
-/// one batch); the submitting thread does.
+/// A shard-owned worker: pops routed requests off its own queue and runs
+/// them serially over the shards it owns. Single-owner requests execute
+/// lock-free; cross-shard requests fence the involved co-owners; `Fence`
+/// messages park this worker for a lower-indexed coordinator's commit.
+fn owned_worker_loop(
+    inner: &Inner,
+    rx: &Receiver<WorkerMsg>,
+    senders: &[Sender<WorkerMsg>],
+    depth: &AtomicU64,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Req(req, mode) => {
+                depth.fetch_sub(1, Ordering::Relaxed);
+                let (outcome, ticket) = match mode {
+                    // Match the pool executor's accounting: routing-time
+                    // failures produce the abort outcome without touching
+                    // the strategy or metrics.
+                    OwnedMode::Abort(e) => (TxnOutcome::Aborted(e), None),
+                    OwnedMode::Single(proc) => {
+                        // Admission: held for the whole transaction, as in
+                        // the pool loop, so a quiesce observes no
+                        // in-flight commit work.
+                        let _admission = inner.gate.read();
+                        perturb_point(Site::OwnerHandoff);
+                        run_transaction(inner, &req, proc.as_ref(), None)
+                    }
+                    OwnedMode::Cross(proc, co_owners) => {
+                        let fence = Arc::new(FenceState::new(co_owners.len()));
+                        for &w in &co_owners {
+                            senders[w]
+                                .send(WorkerMsg::Fence(fence.clone()))
+                                .expect("co-owner alive");
+                        }
+                        fence.wait_parked();
+                        // Take the admission gate only now: every involved
+                        // owner is parked holding no gate access, so a
+                        // pending quiesce writer serializes cleanly before
+                        // or after this commit instead of deadlocking
+                        // between coordinator and co-owners.
+                        let result = {
+                            let _admission = inner.gate.read();
+                            run_transaction(inner, &req, proc.as_ref(), None)
+                        };
+                        fence.release();
+                        result
+                    }
+                };
+                if let Some(reply) = &req.reply {
+                    let _ = reply.send((outcome, ticket));
+                }
+            }
+            WorkerMsg::Fence(fence) => fence.park(),
+            WorkerMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Runs one transaction under ordered 2PL (the pool executor's isolation
+/// model): acquire the pre-declared lock set, run, release after commit
+/// processing. (The shard-owned executor needs no counterpart: its router
+/// resolves the procedure and proves exclusivity up front, so workers
+/// call [`run_transaction`] directly with no lock guard.)
 fn execute_one(inner: &Inner, req: &Request) -> (TxnOutcome, Option<DurabilityTicket>) {
     let Some(proc) = inner.registry.get(req.proc) else {
         return (
@@ -781,7 +1103,23 @@ fn execute_one(inner: &Inner, req: &Request) -> (TxnOutcome, Option<DurabilityTi
     };
     let lockset = lock_request.to_lock_set();
     let guard = inner.locks.acquire(&lockset);
+    run_transaction(inner, req, proc.as_ref(), Some(guard))
+}
 
+/// The shared transaction body: strategy hooks, commit-token append, and
+/// metrics — identical for both executors, so the commit-token stream
+/// (and everything downstream of it: deterministic replay, conformance,
+/// group commit, standby tailing) is byte-compatible across modes. For a
+/// durable request that commits, the second element is the commit's
+/// [`DurabilityTicket`] — the worker never waits on it (a worker parked
+/// on an fsync would stall the whole pool behind one batch); the
+/// submitting thread does.
+fn run_transaction(
+    inner: &Inner,
+    req: &Request,
+    proc: &dyn calc_txn::proc::Procedure,
+    guard: Option<calc_txn::locks::LockSetGuard<'_>>,
+) -> (TxnOutcome, Option<DurabilityTicket>) {
     let mut token = inner.strategy.txn_begin();
     #[cfg(feature = "conform")]
     let start_stamp = token.stamp;
@@ -1013,7 +1351,46 @@ mod tests {
         }
     }
 
-    fn db(kind: StrategyKind, name: &str) -> Database {
+    /// Moves `delta` from one counter to another — a two-key footprint
+    /// that spans owners whenever the keys hash to different workers, so
+    /// it exercises the cross-shard fence path under `shard_owned`.
+    struct TransferProc;
+    impl Procedure for TransferProc {
+        fn id(&self) -> ProcId {
+            ProcId(2)
+        }
+        fn name(&self) -> &'static str {
+            "transfer"
+        }
+        fn locks(&self, p: &[u8]) -> Result<LockRequest, AbortReason> {
+            let mut r = params::Reader::new(p);
+            Ok(LockRequest {
+                reads: vec![],
+                writes: vec![Key(r.u64()?), Key(r.u64()?)],
+            })
+        }
+        fn run(&self, p: &[u8], ops: &mut dyn TxnOps) -> Result<(), AbortReason> {
+            let mut r = params::Reader::new(p);
+            let from = Key(r.u64()?);
+            let to = Key(r.u64()?);
+            let delta = r.u64()?;
+            let read = |ops: &mut dyn TxnOps, k: Key| {
+                ops.get(k)
+                    .map(|v| u64::from_le_bytes(v[..8].try_into().unwrap()))
+                    .unwrap_or(0)
+            };
+            let src = read(ops, from);
+            if src < delta {
+                return Err(AbortReason::Logic(format!("insufficient: {src} < {delta}")));
+            }
+            let dst = read(ops, to);
+            ops.put(from, &(src - delta).to_le_bytes());
+            ops.put(to, &(dst + delta).to_le_bytes());
+            Ok(())
+        }
+    }
+
+    fn db_with_mode(kind: StrategyKind, name: &str, mode: ExecutorMode) -> Database {
         let dir = std::env::temp_dir().join(format!(
             "calc-engine-{}-{}-{name}",
             std::process::id(),
@@ -1025,10 +1402,19 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let mut registry = ProcRegistry::new();
         registry.register(Arc::new(AddProc));
+        registry.register(Arc::new(TransferProc));
         let mut config = EngineConfig::new(kind, 1024, 16, dir);
         config.workers = 4;
         config.retain_command_log = true;
+        config.executor_mode = mode;
         Database::open(config, registry).unwrap()
+    }
+
+    /// Default-mode database: inherits `EXEC_MODE` via `EngineConfig::new`,
+    /// so the whole module reruns under either executor from the
+    /// environment (scripts/verify.sh does exactly that).
+    fn db(kind: StrategyKind, name: &str) -> Database {
+        db_with_mode(kind, name, ExecutorMode::from_env())
     }
 
     fn add_params(key: u64, delta: u64, limit: u64) -> Arc<[u8]> {
@@ -1290,6 +1676,190 @@ mod tests {
         assert_eq!(db.health().merge_failures(), 1, "retry failed again");
         let (full, _) = db.checkpoint_dir().recovery_chain().unwrap().unwrap();
         assert!(full.id > 0, "retried merge did not produce a collapsed full");
+    }
+
+    #[test]
+    fn shard_owned_single_key_txns_run_lock_free_and_count() {
+        let db = db_with_mode(StrategyKind::Calc, "so-single", ExecutorMode::ShardOwned);
+        assert_eq!(db.executor_mode(), ExecutorMode::ShardOwned);
+        for i in 0..200u64 {
+            let out = db.execute(ProcId(1), add_params(i % 16, 1, u64::MAX));
+            assert!(matches!(out, TxnOutcome::Committed(_)));
+        }
+        for k in 0..16u64 {
+            let got =
+                u64::from_le_bytes(db.get(Key(k)).unwrap()[..8].try_into().unwrap());
+            assert_eq!(got, 200 / 16 + u64::from(k < 200 % 16));
+        }
+        let health = db.health();
+        assert_eq!(health.single_shard_txns(), 200);
+        assert_eq!(health.cross_shard_txns(), 0);
+        assert_eq!(health.routing_fallbacks(), 0);
+        assert_eq!(db.metrics().committed(), 200);
+    }
+
+    #[test]
+    fn shard_owned_cross_shard_transfers_conserve_total() {
+        let db = db_with_mode(StrategyKind::Calc, "so-cross", ExecutorMode::ShardOwned);
+        let router = db.shard_router().expect("shard-owned router");
+        const KEYS: u64 = 16;
+        for k in 0..KEYS {
+            db.execute(ProcId(1), add_params(k, 1000, u64::MAX));
+        }
+        // Mix of genuinely cross-owner pairs and same-owner pairs, fired
+        // from several submitter threads so fences interleave with
+        // single-owner traffic.
+        let mut cross = 0u64;
+        let mut handles = Vec::new();
+        let db = Arc::new(db);
+        for t in 0..4u64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..150u64 {
+                    let from = (t * 37 + i) % KEYS;
+                    let to = (t * 37 + i * 11 + 1) % KEYS;
+                    if from != to {
+                        let p =
+                            params::Writer::new().u64(from).u64(to).u64(1).finish();
+                        db.execute(ProcId(2), p);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..KEYS {
+            for j in 0..KEYS {
+                if i != j && router.owner_of_key(Key(i)) != router.owner_of_key(Key(j)) {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross > 0, "workload never crossed owners; widen KEYS");
+        assert!(db.health().cross_shard_txns() > 0, "no fence path exercised");
+        let total: u64 = (0..KEYS)
+            .map(|k| u64::from_le_bytes(db.get(Key(k)).unwrap()[..8].try_into().unwrap()))
+            .sum();
+        assert_eq!(total, KEYS * 1000, "transfers must conserve the total");
+    }
+
+    #[test]
+    fn shard_owned_concurrent_submissions_all_commit() {
+        let db = db_with_mode(StrategyKind::Calc, "so-concurrent", ExecutorMode::ShardOwned);
+        for i in 0..1000u64 {
+            db.submit(ProcId(1), add_params(i % 10, 1, u64::MAX));
+        }
+        let metrics = db.metrics().clone();
+        let strategy = db.strategy().clone();
+        db.shutdown();
+        assert_eq!(metrics.committed(), 1000);
+        let total: u64 = (0..10u64)
+            .map(|k| {
+                u64::from_le_bytes(strategy.get(Key(k)).unwrap()[..8].try_into().unwrap())
+            })
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn shard_owned_commit_log_stays_in_seq_order() {
+        // The commit-token invariant across the refactor: the retained
+        // command log must be strictly seq-ordered even when commits come
+        // from different owner threads and fenced cross-shard commits.
+        let db = db_with_mode(StrategyKind::Calc, "so-order", ExecutorMode::ShardOwned);
+        for k in 0..8u64 {
+            db.execute(ProcId(1), add_params(k, 100, u64::MAX));
+        }
+        for i in 0..200u64 {
+            let p = params::Writer::new()
+                .u64(i % 8)
+                .u64((i + 3) % 8)
+                .u64(0)
+                .finish();
+            db.submit(ProcId(2), p);
+            db.submit(ProcId(1), add_params(i % 8, 1, u64::MAX));
+        }
+        let metrics = db.metrics().clone();
+        let log = db.commit_log().clone();
+        db.shutdown();
+        let records = log.commits_after(CommitSeq::ZERO);
+        assert_eq!(records.len() as u64, metrics.committed());
+        for pair in records.windows(2) {
+            assert!(
+                pair[0].seq < pair[1].seq,
+                "commit log out of order: {:?} then {:?}",
+                pair[0].seq,
+                pair[1].seq
+            );
+        }
+    }
+
+    #[test]
+    fn shard_owned_unknown_procedure_aborts_and_counts_fallback() {
+        let db = db_with_mode(StrategyKind::Calc, "so-unknown", ExecutorMode::ShardOwned);
+        let out = db.execute(ProcId(99), add_params(1, 1, 10));
+        assert!(matches!(out, TxnOutcome::Aborted(AbortReason::BadParams(_))));
+        assert_eq!(db.health().routing_fallbacks(), 1);
+        // Parity with the pool executor: routing-time aborts do not reach
+        // the outcome metrics (the pool's early returns never did).
+        assert_eq!(db.metrics().aborted(), 0);
+    }
+
+    #[test]
+    fn shard_owned_checkpoint_quiesces_across_fences() {
+        // A checkpoint's quiesce (gate.write) must interleave safely with
+        // cross-shard fences: coordinators take gate.read only once every
+        // co-owner is parked, so the writer can never wedge between them.
+        let db = Arc::new(db_with_mode(
+            StrategyKind::Calc,
+            "so-quiesce",
+            ExecutorMode::ShardOwned,
+        ));
+        for k in 0..12u64 {
+            db.execute(ProcId(1), add_params(k, 1000, u64::MAX));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let feeder = {
+            let db = db.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let p = params::Writer::new()
+                        .u64(i % 12)
+                        .u64((i * 7 + 1) % 12)
+                        .u64(1)
+                        .finish();
+                    db.execute(ProcId(2), p);
+                    i += 1;
+                }
+            })
+        };
+        for _ in 0..5 {
+            db.checkpoint_now().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        feeder.join().unwrap();
+        let total: u64 = (0..12u64)
+            .map(|k| u64::from_le_bytes(db.get(Key(k)).unwrap()[..8].try_into().unwrap()))
+            .sum();
+        assert_eq!(total, 12 * 1000);
+        assert!(!db.checkpoint_dir().scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shard_owned_worker_queue_depths_are_exposed() {
+        let db = db_with_mode(StrategyKind::Calc, "so-depths", ExecutorMode::ShardOwned);
+        let depths = db.health().worker_queue_depths();
+        assert_eq!(depths.len(), 4, "one gauge per worker");
+        // After a synchronous round-trip, nothing is left enqueued.
+        db.execute(ProcId(1), add_params(1, 1, u64::MAX));
+        assert!(db.health().worker_queue_depths().iter().all(|&d| d == 0));
+        // Pool mode exposes no per-worker gauges.
+        let pool = db_with_mode(StrategyKind::Calc, "so-depths-pool", ExecutorMode::Pool);
+        assert!(pool.health().worker_queue_depths().is_empty());
+        assert!(pool.shard_router().is_none());
     }
 
     #[test]

@@ -208,9 +208,13 @@ fn mixed_disciplines_lose_only_unacknowledged_tail() {
         .into_iter()
         .map(|r| r.seq.0)
         .collect();
-    assert_eq!(
-        recovered,
-        vec![1, 2, 3],
-        "the fsynced batch survives whole; the unflushed tail is gone"
+    // The fsynced batch survives whole; of the unflushed tail, a prefix
+    // may survive (the sync thread races the crash: an append that
+    // triggered a segment rotation gets fsynced with the rotated-out
+    // segment) but nothing may be reordered or invented.
+    assert!(
+        recovered.len() >= 3 && recovered == [1, 2, 3, 4, 5][..recovered.len()],
+        "acked batch [1,2,3] must survive whole and recovery must be a \
+         submission-order prefix; got {recovered:?}"
     );
 }

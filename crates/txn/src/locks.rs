@@ -14,11 +14,25 @@
 //! that consecutive shared requests are granted together. This prevents
 //! writer starvation under read-heavy contention.
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 
 use parking_lot::{Condvar, Mutex};
 
 use calc_common::types::Key;
+
+thread_local! {
+    /// Reusable sort/dedup buffer for [`LockManager::acquire`]. Each
+    /// acquire used to allocate a fresh `Vec` per transaction; the guard
+    /// now borrows this thread's buffer and returns it on release, so a
+    /// steady-state worker allocates nothing on the 2PL path.
+    static ACQUIRE_SCRATCH: Cell<Vec<(Key, LockMode)>> = const { Cell::new(Vec::new()) };
+}
+
+/// Waiter queues larger than this are shrunk once they empty, so one
+/// historic convoy on a hot key does not pin its high-water allocation
+/// for the life of the entry.
+const WAITER_SHRINK_THRESHOLD: usize = 8;
 
 /// Lock modes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,7 +113,9 @@ impl LockManager {
     /// [`LockSetGuard::release`]) releases every lock — strictness: locks
     /// are only released after commit processing completes.
     pub fn acquire(&self, request: &[(Key, LockMode)]) -> LockSetGuard<'_> {
-        let mut locks: Vec<(Key, LockMode)> = request.to_vec();
+        let mut locks = ACQUIRE_SCRATCH.take();
+        locks.clear();
+        locks.extend_from_slice(request);
         locks.sort_by_key(|(k, m)| (*k, matches!(m, LockMode::Shared)));
         // After the sort, an Exclusive for key k precedes a Shared for k;
         // dedup keeps the first (strongest) mode.
@@ -151,6 +167,11 @@ impl LockManager {
             if let Some(&(head, _)) = entry.waiters.front() {
                 if head == req_id && entry.compatible(mode) {
                     entry.waiters.pop_front();
+                    if entry.waiters.is_empty()
+                        && entry.waiters.capacity() > WAITER_SHRINK_THRESHOLD
+                    {
+                        entry.waiters.shrink_to_fit();
+                    }
                     match mode {
                         LockMode::Shared => entry.shared_holders += 1,
                         LockMode::Exclusive => entry.exclusive_held = true,
@@ -229,6 +250,10 @@ impl LockSetGuard<'_> {
             for &(key, mode) in &self.locks {
                 self.mgr.unlock_one(key, mode);
             }
+            // Hand the buffer back for the next acquire on this thread.
+            let mut scratch = std::mem::take(&mut self.locks);
+            scratch.clear();
+            ACQUIRE_SCRATCH.set(scratch);
         }
     }
 }

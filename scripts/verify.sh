@@ -4,7 +4,9 @@
 # in calc-sim, including the 64-seed smoke sweep), tier-3 (the concurrency
 # conformance suite in calc-conform at three fixed base seeds), tier-4
 # (the transient-fault sweep, run serially and again with 4-way parallel
-# checkpoint capture), tier-5 (the two-node warm-standby failover
+# checkpoint capture). Tiers 2-4 also rerun under the thread-per-core
+# shard-owned executor (EXEC_MODE=shard_owned), so both execution paths
+# hold the same crash/serializability contracts. Tier-5 (the two-node warm-standby failover
 # sweep at three fixed base seeds), tier-6 (the calc-server suite:
 # wire-protocol round trips over real TCP, the shutdown-under-load
 # durability test, and the kill-9 smoke — the real server binary on an
@@ -40,10 +42,16 @@ cargo test --package calc-sim --quiet
 echo "== tier-2: crash-simulation sweep, compressed parts (CKPT_CODEC=rle) =="
 CKPT_CODEC=rle cargo test --package calc-sim --quiet
 
-echo "== tier-3: concurrency conformance (calc-conform, 3 base seeds) =="
+echo "== tier-2: crash-simulation sweep, shard-owned executor (EXEC_MODE=shard_owned) =="
+EXEC_MODE=shard_owned cargo test --package calc-sim --quiet
+
+echo "== tier-3: concurrency conformance (calc-conform, 3 base seeds, both executors) =="
 for seed in 0xC0F0202600000000 0x5EEDFACE00000001 0xA5A5A5A500000002; do
-    echo "  -- CONFORM_SEED=${seed}"
-    CONFORM_SEED="${seed}" cargo test --package calc-conform --quiet
+    for mode in pool shard_owned; do
+        echo "  -- CONFORM_SEED=${seed} EXEC_MODE=${mode}"
+        CONFORM_SEED="${seed}" EXEC_MODE="${mode}" \
+            cargo test --package calc-conform --quiet
+    done
 done
 
 echo "== tier-4: transient-fault sweep (calc-sim fault_sweep, 3 base seeds) =="
@@ -54,6 +62,10 @@ done
 
 echo "== tier-4: transient-fault sweep, 4-way parallel capture =="
 CKPT_THREADS=4 SIM_RECOVERY_STATS=1 \
+    cargo test --package calc-sim --test fault_sweep --quiet
+
+echo "== tier-4: transient-fault sweep, shard-owned executor =="
+EXEC_MODE=shard_owned FAULT_SEED=0xFA175EED00000000 \
     cargo test --package calc-sim --test fault_sweep --quiet
 
 echo "== tier-5: warm-standby failover sweep (calc-sim failover_sweep, 3 base seeds) =="
